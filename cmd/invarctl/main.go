@@ -1,0 +1,335 @@
+// Command invarctl drives an InvarNet-X deployment against the simulated
+// Hadoop testbed: train models, build the signature database, inject faults
+// and diagnose them, with all offline artefacts persisted as the paper's
+// XML files.
+//
+// Typical session:
+//
+//	invarctl simulate  -workload wordcount
+//	invarctl train     -workload wordcount -models ./models
+//	invarctl signatures -workload wordcount -models ./models
+//	invarctl diagnose  -workload wordcount -models ./models -fault cpu-hog
+//	invarctl faults
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"invarnetx/internal/core"
+	"invarnetx/internal/experiments"
+	"invarnetx/internal/faults"
+	"invarnetx/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "signatures":
+		err = cmdSignatures(os.Args[2:])
+	case "diagnose":
+		err = cmdDiagnose(os.Args[2:])
+	case "audit":
+		err = cmdAudit(os.Args[2:])
+	case "faults":
+		err = cmdFaults()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: invarctl <command> [flags]
+
+commands:
+  simulate    run one normal job and report per-node statistics
+  train       train performance models and invariants; save XML to -models
+  signatures  build the signature database for every fault; save to -models
+  diagnose    inject a fault, detect it online and infer the root cause
+  audit       report signature conflicts and per-problem separability
+  faults      list the injectable faults`)
+}
+
+// common returns the shared flag set and accessors.
+func common(fs *flag.FlagSet) (w *string, seed *int64, models *string) {
+	w = fs.String("workload", "wordcount", "workload type: wordcount|sort|grep|bayes|tpcds")
+	seed = fs.Int64("seed", 1, "simulation seed")
+	models = fs.String("models", "./models", "model directory (XML files)")
+	return
+}
+
+func runner(seed int64) *experiments.Runner {
+	opts := experiments.DefaultOptions()
+	opts.Seed = seed
+	return experiments.NewRunner(opts)
+}
+
+func parseWorkload(s string) (workload.Type, error) {
+	t := workload.Type(s)
+	if !workload.Valid(t) {
+		return "", fmt.Errorf("unknown workload %q (choose from %v)", s, workload.Types())
+	}
+	return t, nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	w, seed, _ := common(fs)
+	fs.Parse(args)
+	t, err := parseWorkload(*w)
+	if err != nil {
+		return err
+	}
+	res, err := runner(*seed).Run(t, "", 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s completed in %d ticks (%d simulated seconds)\n", t, res.DurationTicks, res.DurationTicks*10)
+	if res.MeanQueryTicks > 0 {
+		fmt.Printf("mean query latency: %.1f ticks\n", res.MeanQueryTicks)
+	}
+	for ip, tr := range res.Traces {
+		p95 := 0.0
+		if v, err := percentile95(tr.CPI); err == nil {
+			p95 = v
+		}
+		fmt.Printf("  node %s: %d samples, 95th-pct CPI %.3f\n", ip, tr.Len(), p95)
+	}
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	w, seed, models := common(fs)
+	fs.Parse(args)
+	t, err := parseWorkload(*w)
+	if err != nil {
+		return err
+	}
+	r := runner(*seed)
+	sys, runs, err := r.TrainSystem(t)
+	if err != nil {
+		return err
+	}
+	if err := sys.SaveTo(*models); err != nil {
+		return err
+	}
+	fmt.Printf("trained %s on %d normal runs; models saved to %s\n", t, len(runs), *models)
+	for ip := range runs[0].Traces {
+		ctx := core.Context{Workload: string(t), IP: ip}
+		set, err := sys.Invariants(ctx)
+		if err != nil {
+			return err
+		}
+		d, err := sys.Detector(ctx)
+		if err != nil {
+			return err
+		}
+		// Residual diagnostics on one training trace: a model whose
+		// residuals are not white has miscalibrated thresholds.
+		white := "residuals white"
+		if diag, err := d.Model.Diagnose(runs[0].Traces[ip].CPI); err == nil && !diag.White {
+			white = fmt.Sprintf("WARNING: residuals not white (Ljung-Box p=%.3f)", diag.PValue)
+		}
+		fmt.Printf("  %s: %s, threshold %.4f, %d invariants, %s\n", ctx, d.Model.Order, d.Upper, set.Len(), white)
+	}
+	return nil
+}
+
+func cmdSignatures(args []string) error {
+	fs := flag.NewFlagSet("signatures", flag.ExitOnError)
+	w, seed, models := common(fs)
+	fs.Parse(args)
+	t, err := parseWorkload(*w)
+	if err != nil {
+		return err
+	}
+	r := runner(*seed)
+	sys := core.New(r.Options().Config)
+	if err := sys.LoadFrom(*models); err != nil {
+		return fmt.Errorf("loading models (run `invarctl train` first): %w", err)
+	}
+	opts := r.Options()
+	for _, kind := range experiments.FaultKindsFor(t) {
+		for i := 0; i < opts.SignatureRuns; i++ {
+			res, err := r.Run(t, kind, 100000+i)
+			if err != nil {
+				return err
+			}
+			win, err := experiments.AbnormalWindow(res.TargetTrace(), res.Window.Start, opts.FaultTicks)
+			if err != nil {
+				return err
+			}
+			ctx := core.Context{Workload: string(t), IP: res.TargetIP}
+			if err := sys.BuildSignature(ctx, string(kind), win); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("  signature stored: %s\n", kind)
+	}
+	if err := sys.SaveTo(*models); err != nil {
+		return err
+	}
+	fmt.Printf("%d signatures saved to %s\n", sys.SignatureCount(), *models)
+	return nil
+}
+
+func cmdDiagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
+	w, seed, models := common(fs)
+	fault := fs.String("fault", "cpu-hog", "fault kind to inject (see `invarctl faults`)")
+	idx := fs.Int("run", 0, "run index (varies the injected instance)")
+	fs.Parse(args)
+	t, err := parseWorkload(*w)
+	if err != nil {
+		return err
+	}
+	kind := faults.Kind(*fault)
+	if !faults.Valid(kind) {
+		return fmt.Errorf("unknown fault %q (see `invarctl faults`)", *fault)
+	}
+	r := runner(*seed)
+	sys := core.New(r.Options().Config)
+	if err := sys.LoadFrom(*models); err != nil {
+		return fmt.Errorf("loading models (run `invarctl train` and `invarctl signatures` first): %w", err)
+	}
+
+	res, err := r.Run(t, kind, *idx)
+	if err != nil {
+		return err
+	}
+	tr := res.TargetTrace()
+	ctx := core.Context{Workload: string(t), IP: res.TargetIP}
+	fmt.Printf("injected %s on %s during ticks %d-%d (job took %d ticks)\n",
+		kind, res.TargetIP, res.Window.Start, res.Window.End, res.DurationTicks)
+
+	const warmup = 6
+	mon, err := sys.NewMonitor(ctx, tr.CPI[:warmup])
+	if err != nil {
+		return err
+	}
+	alert := -1
+	for i := warmup; i < tr.Len(); i++ {
+		mon.Offer(tr.CPI[i])
+		if mon.Alert() {
+			alert = i
+			break
+		}
+	}
+	if alert < 0 {
+		fmt.Println("no performance anomaly detected")
+		return nil
+	}
+	fmt.Printf("anomaly detected at tick %d (CPI drift, 3 consecutive violations)\n", alert)
+
+	win, err := experiments.AbnormalWindow(tr, alert-2, r.Options().FaultTicks)
+	if err != nil {
+		return err
+	}
+	diag, err := sys.Diagnose(ctx, win)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("violation tuple: %d of %d invariants violated\n", diag.Tuple.Ones(), len(diag.Tuple))
+	if len(diag.Causes) == 0 {
+		fmt.Println("no similar signature found; hints (violated associations):")
+		for i, h := range diag.Hints {
+			if i >= 8 {
+				fmt.Printf("  ... and %d more\n", len(diag.Hints)-8)
+				break
+			}
+			fmt.Printf("  %s\n", h)
+		}
+		return nil
+	}
+	fmt.Println("ranked root causes:")
+	for i, c := range diag.Causes {
+		marker := " "
+		if c.Problem == string(kind) {
+			marker = "*"
+		}
+		fmt.Printf("  %d. %-10s similarity %.2f %s\n", i+1, c.Problem, c.Score, marker)
+	}
+	return nil
+}
+
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	_, _, models := common(fs)
+	threshold := fs.Float64("threshold", 0.6, "conflict similarity threshold")
+	fs.Parse(args)
+	r := runner(1)
+	sys := core.New(r.Options().Config)
+	if err := sys.LoadFrom(*models); err != nil {
+		return fmt.Errorf("loading models: %w", err)
+	}
+	db := sys.SignatureDB()
+	fmt.Printf("auditing %d signatures\n", db.Len())
+	conflicts, err := db.Conflicts(r.Options().Config.Similarity, *threshold)
+	if err != nil {
+		return err
+	}
+	if len(conflicts) == 0 {
+		fmt.Printf("no conflicts at similarity >= %.2f\n", *threshold)
+	} else {
+		fmt.Println("signature conflicts (likely mutual misdiagnosis):")
+		for _, c := range conflicts {
+			fmt.Printf("  %s\n", c)
+		}
+	}
+	seps, err := db.Separabilities(r.Options().Config.Similarity)
+	if err != nil {
+		return err
+	}
+	fmt.Println("per-problem separability (cohesion - worst external; negative predicts misdiagnosis):")
+	for _, sep := range seps {
+		fmt.Printf("  %-10s margin %+0.2f (cohesion %.2f, worst external %.2f vs %s) [%s@%s]\n",
+			sep.Problem, sep.Margin(), sep.Cohesion, sep.WorstExternal, sep.WorstProblem, sep.Workload, sep.IP)
+	}
+	return nil
+}
+
+func cmdFaults() error {
+	fmt.Println("operational-environment faults:")
+	for _, k := range faults.EnvironmentKinds() {
+		fmt.Printf("  %-10s %s\n", k, faults.Description(k))
+	}
+	fmt.Println("software-bug faults:")
+	for _, k := range faults.BugKinds() {
+		fmt.Printf("  %-10s %s\n", k, faults.Description(k))
+	}
+	return nil
+}
+
+// percentile95 avoids importing stats just for one call.
+func percentile95(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("empty")
+	}
+	cp := append([]float64(nil), xs...)
+	// insertion sort is fine at trace scale
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	idx := int(0.95 * float64(len(cp)-1))
+	return cp[idx], nil
+}

@@ -1,0 +1,3 @@
+module invarnetx
+
+go 1.22

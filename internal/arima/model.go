@@ -1,0 +1,352 @@
+// Package arima implements ARIMA(p,d,q) modelling from scratch for the
+// CPI-based performance anomaly detector.
+//
+// InvarNet-X trains one ARIMA model per (workload type, node) on CPI traces
+// from normal runs, stores it as the paper's five-tuple (p, d, q, ip, type),
+// and at run time compares one-step-ahead CPI predictions against the
+// observed CPI: residuals exceeding a threshold (Section 3.2 of the paper)
+// signal a performance anomaly.
+//
+// Estimation strategy, chosen to be robust on short noisy traces with only
+// the standard library available:
+//
+//   - the series is differenced d times (the "I" part);
+//   - pure AR models are estimated by Yule-Walker (Levinson-Durbin on the
+//     biased autocovariances), which is always stable;
+//   - models with an MA component use the Hannan-Rissanen two-stage
+//     algorithm: a long-AR pre-fit produces innovation estimates, then the
+//     ARMA coefficients come from a least-squares regression on lagged
+//     values and lagged innovations;
+//   - order selection minimises AIC over a small (p,q) grid, with d chosen
+//     by a variance-reduction heuristic (KPSS-style formal tests are
+//     unnecessary at this data scale).
+package arima
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"invarnetx/internal/stats"
+	"invarnetx/internal/timeseries"
+)
+
+// ErrTooShort is returned when a training series cannot identify the
+// requested model.
+var ErrTooShort = errors.New("arima: series too short for requested order")
+
+// Order identifies an ARIMA(p,d,q) specification.
+type Order struct {
+	P int // autoregressive terms
+	D int // differencing order
+	Q int // moving-average terms
+}
+
+func (o Order) String() string { return fmt.Sprintf("ARIMA(%d,%d,%d)", o.P, o.D, o.Q) }
+
+// Model is a fitted ARIMA model.
+//
+// On the d-times differenced series w[t], the model is
+//
+//	w[t] = c + sum_i AR[i]*w[t-i] + sum_j MA[j]*e[t-j] + e[t]
+//
+// with e ~ N(0, Sigma2).
+type Model struct {
+	Order     Order
+	AR        []float64 // AR coefficients, AR[0] multiplies w[t-1]
+	MA        []float64 // MA coefficients, MA[0] multiplies e[t-1]
+	Intercept float64   // c
+	Sigma2    float64   // innovation variance estimate
+	N         int       // number of training observations (original scale)
+	AIC       float64
+	LogLik    float64 // Gaussian CSS log-likelihood (up to constants)
+}
+
+// minTrain is the minimum original-scale training length accepted by Fit.
+const minTrain = 12
+
+// Fit estimates an ARIMA model of the given order on xs.
+func Fit(xs []float64, order Order) (*Model, error) {
+	if order.P < 0 || order.D < 0 || order.Q < 0 {
+		return nil, fmt.Errorf("arima: invalid order %v", order)
+	}
+	if len(xs) < minTrain || len(xs) <= order.D+order.P+order.Q+2 {
+		return nil, ErrTooShort
+	}
+	w, err := timeseries.Difference(xs, order.D)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Order: order, N: len(xs)}
+	switch {
+	case order.P == 0 && order.Q == 0:
+		err = m.fitMeanOnly(w)
+	case order.Q == 0:
+		err = m.fitYuleWalker(w)
+	default:
+		err = m.fitHannanRissanen(w)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.computeLikelihood(w)
+	return m, nil
+}
+
+// Residuals returns the one-step-ahead in-sample residuals of the model on
+// xs (original scale). The first max(p,q)+d values, which cannot be
+// predicted, are omitted. This is the R of the threshold rules in §3.2:
+// "The absolute value of fitting residual is denoted by R."
+func (m *Model) Residuals(xs []float64) ([]float64, error) {
+	preds, err := m.PredictSeries(xs)
+	if err != nil {
+		return nil, err
+	}
+	skip := len(xs) - len(preds)
+	res := make([]float64, len(preds))
+	for i := range preds {
+		res[i] = xs[skip+i] - preds[i]
+	}
+	return res, nil
+}
+
+// PredictSeries returns one-step-ahead predictions for xs on the original
+// scale. Prediction i corresponds to xs[skip+i] where
+// skip = d + max(p, q): the earliest sample with a full lag window.
+func (m *Model) PredictSeries(xs []float64) ([]float64, error) {
+	p, d, q := m.Order.P, m.Order.D, m.Order.Q
+	lead := p
+	if q > lead {
+		lead = q
+	}
+	if len(xs) <= d+lead {
+		return nil, ErrTooShort
+	}
+	w, err := timeseries.Difference(xs, d)
+	if err != nil {
+		return nil, err
+	}
+	// Innovations are built up recursively: e[t] = w[t] - pred(w[t]).
+	errs := make([]float64, len(w))
+	predsW := make([]float64, 0, len(w)-lead)
+	for t := lead; t < len(w); t++ {
+		pred := m.Intercept
+		for i, a := range m.AR {
+			pred += a * w[t-1-i]
+		}
+		for j, b := range m.MA {
+			pred += b * errs[t-1-j]
+		}
+		errs[t] = w[t] - pred
+		predsW = append(predsW, pred)
+	}
+	if d == 0 {
+		return predsW, nil
+	}
+	// Undo differencing per prediction: the one-step prediction of x[t] is
+	// pred(w[t]) plus the reconstruction from the d previous *observed*
+	// original-scale values. For d==1: x̂[t] = ŵ[t] + x[t-1]. In general,
+	// x̂[t] = ŵ[t] - sum_{k=1..d} (-1)^k C(d,k) x[t-k].
+	preds := make([]float64, len(predsW))
+	for i := range predsW {
+		t := d + lead + i // index into xs
+		rec := predsW[i]
+		sign := -1.0
+		c := float64(d)
+		for k := 1; k <= d; k++ {
+			rec -= sign * c * xs[t-k]
+			// next binomial coefficient and sign
+			c = c * float64(d-k) / float64(k+1)
+			sign = -sign
+		}
+		preds[i] = rec
+	}
+	return preds, nil
+}
+
+// PredictNext returns the one-step-ahead forecast of the sample following
+// history (original scale). This is the online detector's workhorse:
+// "M'cpi(t) is the CPI data predicted by ARIMA model using previous CPI
+// data".
+func (m *Model) PredictNext(history []float64) (float64, error) {
+	p, d, q := m.Order.P, m.Order.D, m.Order.Q
+	lead := p
+	if q > lead {
+		lead = q
+	}
+	if len(history) <= d+lead {
+		return 0, ErrTooShort
+	}
+	w, err := timeseries.Difference(history, d)
+	if err != nil {
+		return 0, err
+	}
+	errs := make([]float64, len(w))
+	for t := lead; t < len(w); t++ {
+		pred := m.Intercept
+		for i, a := range m.AR {
+			pred += a * w[t-1-i]
+		}
+		for j, b := range m.MA {
+			pred += b * errs[t-1-j]
+		}
+		errs[t] = w[t] - pred
+	}
+	// Forecast the next differenced value.
+	next := m.Intercept
+	for i, a := range m.AR {
+		next += a * w[len(w)-1-i]
+	}
+	for j, b := range m.MA {
+		next += b * errs[len(errs)-1-j]
+	}
+	if d == 0 {
+		return next, nil
+	}
+	seeds, err := timeseries.DifferenceSeeds(history, d)
+	if err != nil {
+		return 0, err
+	}
+	out, err := timeseries.Integrate([]float64{next}, seeds)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// Forecast returns an h-step-ahead forecast on the original scale, holding
+// future innovations at zero.
+func (m *Model) Forecast(history []float64, h int) ([]float64, error) {
+	if h <= 0 {
+		return nil, fmt.Errorf("arima: non-positive horizon %d", h)
+	}
+	p, d, q := m.Order.P, m.Order.D, m.Order.Q
+	lead := p
+	if q > lead {
+		lead = q
+	}
+	if len(history) <= d+lead {
+		return nil, ErrTooShort
+	}
+	w, err := timeseries.Difference(history, d)
+	if err != nil {
+		return nil, err
+	}
+	errs := make([]float64, len(w))
+	for t := lead; t < len(w); t++ {
+		pred := m.Intercept
+		for i, a := range m.AR {
+			pred += a * w[t-1-i]
+		}
+		for j, b := range m.MA {
+			pred += b * errs[t-1-j]
+		}
+		errs[t] = w[t] - pred
+	}
+	// Extend w and errs forward; future innovations are 0.
+	wExt := append(append([]float64(nil), w...), make([]float64, h)...)
+	eExt := append(append([]float64(nil), errs...), make([]float64, h)...)
+	for s := 0; s < h; s++ {
+		t := len(w) + s
+		pred := m.Intercept
+		for i, a := range m.AR {
+			pred += a * wExt[t-1-i]
+		}
+		for j, b := range m.MA {
+			pred += b * eExt[t-1-j]
+		}
+		wExt[t] = pred
+	}
+	fcW := wExt[len(w):]
+	if d == 0 {
+		return fcW, nil
+	}
+	seeds, err := timeseries.DifferenceSeeds(history, d)
+	if err != nil {
+		return nil, err
+	}
+	return timeseries.Integrate(fcW, seeds)
+}
+
+// computeLikelihood fills Sigma2, LogLik and AIC from the conditional
+// sum-of-squares residuals on the differenced training series w.
+func (m *Model) computeLikelihood(w []float64) {
+	p, q := m.Order.P, m.Order.Q
+	lead := p
+	if q > lead {
+		lead = q
+	}
+	errs := make([]float64, len(w))
+	var css float64
+	n := 0
+	for t := lead; t < len(w); t++ {
+		pred := m.Intercept
+		for i, a := range m.AR {
+			pred += a * w[t-1-i]
+		}
+		for j, b := range m.MA {
+			pred += b * errs[t-1-j]
+		}
+		errs[t] = w[t] - pred
+		css += errs[t] * errs[t]
+		n++
+	}
+	if n == 0 {
+		m.Sigma2 = 0
+		m.LogLik = math.Inf(-1)
+		m.AIC = math.Inf(1)
+		return
+	}
+	m.Sigma2 = css / float64(n)
+	if m.Sigma2 <= 0 {
+		m.Sigma2 = 1e-12
+	}
+	m.LogLik = -0.5 * float64(n) * (math.Log(2*math.Pi*m.Sigma2) + 1)
+	k := float64(p + q + 1) // +1 for the intercept
+	m.AIC = 2*k - 2*m.LogLik
+}
+
+// Diagnostics summarises the adequacy of a fitted model on a series: the
+// Ljung-Box whiteness test on the one-step residuals plus the residual
+// scale. A model whose residuals are not white has failed to capture the
+// series' structure, and its anomaly thresholds will be miscalibrated.
+type Diagnostics struct {
+	LjungBoxQ float64
+	PValue    float64
+	Lags      int
+	// ResidualSD is the standard deviation of the one-step residuals.
+	ResidualSD float64
+	// White reports whether whiteness is NOT rejected at the 5% level.
+	White bool
+}
+
+// Diagnose runs residual diagnostics of the model against xs, using
+// min(10, n/5) lags.
+func (m *Model) Diagnose(xs []float64) (Diagnostics, error) {
+	res, err := m.Residuals(xs)
+	if err != nil {
+		return Diagnostics{}, err
+	}
+	lags := 10
+	if max := len(res)/5 - 1; lags > max {
+		lags = max
+	}
+	if lags < 1 {
+		return Diagnostics{}, ErrTooShort
+	}
+	q, p, err := stats.LjungBox(res, lags, m.Order.P+m.Order.Q)
+	if err != nil {
+		return Diagnostics{}, err
+	}
+	sd, err := stats.StdDev(res)
+	if err != nil {
+		return Diagnostics{}, err
+	}
+	return Diagnostics{
+		LjungBoxQ:  q,
+		PValue:     p,
+		Lags:       lags,
+		ResidualSD: sd,
+		White:      p >= 0.05,
+	}, nil
+}

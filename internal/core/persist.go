@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"invarnetx/internal/xmlstore"
+)
+
+// File layout used by SaveTo/LoadFrom: one XML file per trained artefact,
+// named by operation context, plus a single signature database.
+//
+//	<dir>/model-<workload>-<ip>.xml
+//	<dir>/invariants-<workload>-<ip>.xml
+//	<dir>/signatures.xml
+//
+// The paper stores each model and invariant set "in an XML file"; this
+// mirrors that and makes the offline training results reusable across
+// process restarts.
+
+// ctxFileToken encodes a context field for use in a file name.
+func ctxFileToken(s string) string {
+	if s == "" {
+		return "global"
+	}
+	return strings.ReplaceAll(s, string(os.PathSeparator), "_")
+}
+
+func modelPath(dir string, ctx Context) string {
+	return filepath.Join(dir, fmt.Sprintf("model-%s-%s.xml", ctxFileToken(ctx.Workload), ctxFileToken(ctx.IP)))
+}
+
+func invariantPath(dir string, ctx Context) string {
+	return filepath.Join(dir, fmt.Sprintf("invariants-%s-%s.xml", ctxFileToken(ctx.Workload), ctxFileToken(ctx.IP)))
+}
+
+func signaturePath(dir string) string {
+	return filepath.Join(dir, "signatures.xml")
+}
+
+// SaveTo writes every trained model, invariant set and the signature
+// database into dir (created if needed).
+func (s *System) SaveTo(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for ctx, d := range s.detectors {
+		f := xmlstore.EncodeModel(d, ctx.IP, ctx.Workload)
+		if err := xmlstore.SaveFile(modelPath(dir, ctx), f); err != nil {
+			return fmt.Errorf("core: saving model %v: %w", ctx, err)
+		}
+	}
+	for ctx, set := range s.invariants {
+		f := xmlstore.EncodeInvariants(set, ctx.IP, ctx.Workload)
+		if err := xmlstore.SaveFile(invariantPath(dir, ctx), f); err != nil {
+			return fmt.Errorf("core: saving invariants %v: %w", ctx, err)
+		}
+	}
+	if err := xmlstore.SaveFile(signaturePath(dir), xmlstore.EncodeSignatures(&s.sigs)); err != nil {
+		return fmt.Errorf("core: saving signatures: %w", err)
+	}
+	return nil
+}
+
+// LoadFrom restores models, invariants and signatures previously written by
+// SaveTo. Loaded artefacts replace in-memory ones with the same context.
+func (s *System) LoadFrom(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		name := e.Name()
+		full := filepath.Join(dir, name)
+		switch {
+		case strings.HasPrefix(name, "model-") && strings.HasSuffix(name, ".xml"):
+			var f xmlstore.ModelFile
+			if err := xmlstore.LoadFile(full, &f); err != nil {
+				return fmt.Errorf("core: loading %s: %w", name, err)
+			}
+			d, err := f.Decode()
+			if err != nil {
+				return fmt.Errorf("core: decoding %s: %w", name, err)
+			}
+			s.detectors[loadedCtx(f.Type, f.IP)] = d
+		case strings.HasPrefix(name, "invariants-") && strings.HasSuffix(name, ".xml"):
+			var f xmlstore.InvariantFile
+			if err := xmlstore.LoadFile(full, &f); err != nil {
+				return fmt.Errorf("core: loading %s: %w", name, err)
+			}
+			set, err := f.Decode()
+			if err != nil {
+				return fmt.Errorf("core: decoding %s: %w", name, err)
+			}
+			s.invariants[loadedCtx(f.Type, f.IP)] = set
+		case name == "signatures.xml":
+			var f xmlstore.SignatureFile
+			if err := xmlstore.LoadFile(full, &f); err != nil {
+				return fmt.Errorf("core: loading %s: %w", name, err)
+			}
+			db, err := f.Decode()
+			if err != nil {
+				return fmt.Errorf("core: decoding %s: %w", name, err)
+			}
+			for _, entry := range db.Entries() {
+				s.sigs.Add(entry)
+			}
+		}
+	}
+	return nil
+}
+
+// loadedCtx rebuilds a storage key from persisted fields.
+func loadedCtx(workloadType, ip string) Context {
+	return Context{Workload: workloadType, IP: ip}
+}

@@ -1,0 +1,335 @@
+// Package core is InvarNet-X itself: the centralized diagnosis system of
+// Fig. 3, wiring the substrates together.
+//
+// Offline part (three modules):
+//   - performance-model building: per operation context, an ARIMA model of
+//     normal CPI plus a residual threshold (TrainPerformanceModel);
+//   - invariant construction: per operation context, the MIC invariant set
+//     over N normal runs (TrainInvariants);
+//   - signature-base building: per investigated problem, the binary
+//     violation tuple stored under its context (BuildSignature).
+//
+// Online part (two modules):
+//   - performance anomaly detection: an online Monitor per running job that
+//     checks ARIMA drift on the CPI stream (NewMonitor);
+//   - cause inference: triggered on an alert, computes the violation tuple
+//     of the abnormal window and retrieves the most similar signatures
+//     (Diagnose).
+//
+// Everything is scoped by the operation context (workload type, node IP);
+// Config.UseContext=false gives the ablated variant evaluated in Figs. 9-10.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"invarnetx/internal/detect"
+	"invarnetx/internal/invariant"
+	"invarnetx/internal/metrics"
+	"invarnetx/internal/mic"
+	"invarnetx/internal/signature"
+)
+
+// Context is the paper's operation context: "the workload type and node ID".
+type Context struct {
+	Workload string
+	IP       string
+}
+
+func (c Context) String() string { return fmt.Sprintf("%s@%s", c.Workload, c.IP) }
+
+// Config parameterises an InvarNet-X instance. Zero-valued fields take the
+// paper defaults via DefaultConfig.
+type Config struct {
+	// Epsilon is the invariant-violation threshold (paper: 0.2).
+	Epsilon float64
+	// Tau is the invariant-selection stability threshold (paper: 0.2).
+	Tau float64
+	// Detect configures anomaly detection (rule, beta, consecutive).
+	Detect detect.Config
+	// Assoc is the pairwise association measure; mic.MIC by default,
+	// arx.Association for the baseline comparison.
+	Assoc invariant.AssociationFunc
+	// AssocName labels the measure in reports.
+	AssocName string
+	// Similarity is the tuple-similarity measure for signature retrieval.
+	Similarity signature.Measure
+	// TopK bounds the returned cause list (0 = all).
+	TopK int
+	// UseContext scopes models and signatures by (workload, node). When
+	// false, a single global profile and an unscoped signature search are
+	// used — the "InvarNet-X (no operation context)" ablation.
+	UseContext bool
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		Epsilon:    invariant.DefaultEpsilon,
+		Tau:        invariant.DefaultTau,
+		Detect:     detect.DefaultConfig(),
+		Assoc:      mic.MIC,
+		AssocName:  "mic",
+		Similarity: signature.Jaccard,
+		TopK:       5,
+		UseContext: true,
+	}
+}
+
+// System is one InvarNet-X deployment.
+type System struct {
+	cfg Config
+
+	mu         sync.RWMutex
+	detectors  map[Context]*detect.Detector
+	invariants map[Context]*invariant.Set
+	sigs       signature.DB
+
+	// Training pools, used when UseContext is false: "InvarNet-X without
+	// operation context ... only contains a single performance model and
+	// signature base" (§4.3), so training material from every context
+	// accumulates into one global model instead of each call replacing
+	// the last.
+	cpiPool    map[Context][][]float64
+	windowPool map[Context][]*metrics.Trace
+}
+
+// Errors reported by the online path.
+var (
+	// ErrNoModel means the context has no trained performance model.
+	ErrNoModel = errors.New("core: no performance model for context")
+	// ErrNoInvariants means the context has no trained invariant set.
+	ErrNoInvariants = errors.New("core: no invariants for context")
+)
+
+// New builds a System; zero-valued cfg fields are defaulted.
+func New(cfg Config) *System {
+	def := DefaultConfig()
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = def.Epsilon
+	}
+	if cfg.Tau <= 0 {
+		cfg.Tau = def.Tau
+	}
+	if cfg.Detect.Beta <= 0 {
+		cfg.Detect.Beta = def.Detect.Beta
+	}
+	if cfg.Detect.Consecutive <= 0 {
+		cfg.Detect.Consecutive = def.Detect.Consecutive
+	}
+	if cfg.Assoc == nil {
+		cfg.Assoc = def.Assoc
+		cfg.AssocName = def.AssocName
+	}
+	return &System{
+		cfg:        cfg,
+		detectors:  make(map[Context]*detect.Detector),
+		invariants: make(map[Context]*invariant.Set),
+		cpiPool:    make(map[Context][][]float64),
+		windowPool: make(map[Context][]*metrics.Trace),
+	}
+}
+
+// Config returns the effective configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// key maps a context to its storage key; without operation context all
+// training pools into one global profile.
+func (s *System) key(ctx Context) Context {
+	if s.cfg.UseContext {
+		return ctx
+	}
+	return Context{}
+}
+
+// TrainPerformanceModel fits the ARIMA CPI model and thresholds for ctx
+// from the CPI traces of N normal runs. Without operation context the
+// traces pool with everything trained before, and the single global model
+// is refit on the whole pool.
+func (s *System) TrainPerformanceModel(ctx Context, cpiTraces [][]float64) error {
+	key := s.key(ctx)
+	s.mu.Lock()
+	s.cpiPool[key] = append(s.cpiPool[key], cpiTraces...)
+	pool := s.cpiPool[key]
+	s.mu.Unlock()
+	d, err := detect.Train(pool, s.cfg.Detect)
+	if err != nil {
+		return fmt.Errorf("core: training performance model for %v: %w", ctx, err)
+	}
+	s.mu.Lock()
+	s.detectors[key] = d
+	s.mu.Unlock()
+	return nil
+}
+
+// TrainInvariants runs Algorithm 1 for ctx over the metric traces of N
+// normal runs. Without operation context the runs pool with everything
+// trained before: Algorithm 1's stability test then only keeps pairs whose
+// association holds on *every* node and workload seen — which is exactly
+// how the global variant loses most of its invariants on a heterogeneous
+// platform.
+func (s *System) TrainInvariants(ctx Context, runs []*metrics.Trace) error {
+	key := s.key(ctx)
+	s.mu.Lock()
+	s.windowPool[key] = append(s.windowPool[key], runs...)
+	pool := s.windowPool[key]
+	s.mu.Unlock()
+	mats := make([]*invariant.Matrix, 0, len(pool))
+	for _, run := range pool {
+		m, err := invariant.ComputeMatrix(run.Rows, s.cfg.Assoc)
+		if err != nil {
+			return fmt.Errorf("core: association matrix for %v: %w", ctx, err)
+		}
+		mats = append(mats, m)
+	}
+	set, err := invariant.Select(mats, s.cfg.Tau)
+	if err != nil {
+		return fmt.Errorf("core: invariant selection for %v: %w", ctx, err)
+	}
+	s.mu.Lock()
+	s.invariants[key] = set
+	s.mu.Unlock()
+	return nil
+}
+
+// Detector returns the trained detector for ctx.
+func (s *System) Detector(ctx Context) (*detect.Detector, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.detectors[s.key(ctx)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoModel, ctx)
+	}
+	return d, nil
+}
+
+// Invariants returns the trained invariant set for ctx.
+func (s *System) Invariants(ctx Context) (*invariant.Set, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set, ok := s.invariants[s.key(ctx)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoInvariants, ctx)
+	}
+	return set, nil
+}
+
+// NewMonitor starts online anomaly detection for a job running under ctx,
+// seeded with the first CPI samples of the run.
+func (s *System) NewMonitor(ctx Context, warmup []float64) (*detect.Monitor, error) {
+	d, err := s.Detector(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return d.NewMonitor(warmup), nil
+}
+
+// ViolationTuple computes the binary violation tuple of an abnormal metric
+// window against ctx's invariants, along with the violated pairs.
+func (s *System) ViolationTuple(ctx Context, abnormal *metrics.Trace) (signature.Tuple, []invariant.Pair, error) {
+	set, err := s.Invariants(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	mat, err := invariant.ComputeMatrix(abnormal.Rows, s.cfg.Assoc)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := set.Violations(mat, s.cfg.Epsilon)
+	if err != nil {
+		return nil, nil, err
+	}
+	tuple := signature.Tuple(raw)
+	pairs, err := set.ViolatedPairs(mat, s.cfg.Epsilon)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tuple, pairs, nil
+}
+
+// BuildSignature records the violation tuple of an investigated problem in
+// the signature database: "Once the performance problem is resolved, a new
+// signature will be added into the signature base."
+func (s *System) BuildSignature(ctx Context, problem string, abnormal *metrics.Trace) error {
+	tuple, _, err := s.ViolationTuple(ctx, abnormal)
+	if err != nil {
+		return err
+	}
+	entry := signature.Entry{Tuple: tuple, Problem: problem, IP: ctx.IP, Workload: ctx.Workload}
+	if !s.cfg.UseContext {
+		entry.IP, entry.Workload = "", ""
+	}
+	s.mu.Lock()
+	s.sigs.Add(entry)
+	s.mu.Unlock()
+	return nil
+}
+
+// SignatureCount returns the number of stored signatures.
+func (s *System) SignatureCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sigs.Len()
+}
+
+// SignatureDB exposes the signature database (for persistence).
+func (s *System) SignatureDB() *signature.DB { return &s.sigs }
+
+// Diagnosis is the output of cause inference: a ranked cause list plus the
+// violated-pair hints for unknown problems.
+type Diagnosis struct {
+	Context Context
+	Tuple   signature.Tuple
+	// Causes is ranked most-probable-first; empty when the database holds
+	// nothing similar ("we provide some hints and leave the problem to
+	// the system administrators").
+	Causes []signature.Match
+	// Hints names the violated metric pairs, e.g.
+	// "mem.pagefaults-cpu.user".
+	Hints []string
+}
+
+// RootCause returns the top-ranked cause, or "" when unknown.
+func (d *Diagnosis) RootCause() string {
+	if len(d.Causes) == 0 {
+		return ""
+	}
+	return d.Causes[0].Problem
+}
+
+// Diagnose runs cause inference on an abnormal metric window for ctx.
+func (s *System) Diagnose(ctx Context, abnormal *metrics.Trace) (*Diagnosis, error) {
+	tuple, pairs, err := s.ViolationTuple(ctx, abnormal)
+	if err != nil {
+		return nil, err
+	}
+	diag := &Diagnosis{Context: ctx, Tuple: tuple}
+	for _, p := range pairs {
+		if p.I < len(metrics.Names) && p.J < len(metrics.Names) {
+			diag.Hints = append(diag.Hints, metrics.Names[p.I]+"-"+metrics.Names[p.J])
+		} else {
+			diag.Hints = append(diag.Hints, fmt.Sprintf("m%d-m%d", p.I, p.J))
+		}
+	}
+	ip, wl := ctx.IP, ctx.Workload
+	if !s.cfg.UseContext {
+		ip, wl = "", ""
+	}
+	s.mu.RLock()
+	matches, err := s.sigs.Match(tuple, ip, wl, s.cfg.Similarity, 0)
+	s.mu.RUnlock()
+	if err != nil {
+		if errors.Is(err, signature.ErrEmpty) {
+			return diag, nil // hints only
+		}
+		return nil, err
+	}
+	ranked := signature.BestProblem(matches)
+	if s.cfg.TopK > 0 && len(ranked) > s.cfg.TopK {
+		ranked = ranked[:s.cfg.TopK]
+	}
+	diag.Causes = ranked
+	return diag, nil
+}

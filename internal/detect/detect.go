@@ -1,0 +1,213 @@
+// Package detect implements the performance-anomaly detector of §3.2: an
+// ARIMA model of normal-state CPI, a residual threshold chosen by one of
+// three rules (max-min, 95-percentile, beta-max), and the rule that a
+// performance problem is reported only after three consecutive anomalous
+// samples, "to make the performance anomaly detection more robust to resist
+// system noises".
+package detect
+
+import (
+	"errors"
+	"fmt"
+
+	"invarnetx/internal/arima"
+	"invarnetx/internal/stats"
+)
+
+// Rule selects how the anomaly threshold is derived from the training
+// residuals R (§3.2).
+type Rule int
+
+const (
+	// BetaMax uses beta*max(R); the paper's final choice (beta = 1.2).
+	BetaMax Rule = iota
+	// MaxMin uses max(R) as the upper bar and min(R) as the lower bar.
+	MaxMin
+	// P95 uses the 95th percentile of R; the worst performer in Fig. 6.
+	P95
+)
+
+func (r Rule) String() string {
+	switch r {
+	case BetaMax:
+		return "beta-max"
+	case MaxMin:
+		return "max-min"
+	case P95:
+		return "95-percentile"
+	default:
+		return fmt.Sprintf("rule(%d)", int(r))
+	}
+}
+
+// Rules lists the three threshold rules, for the Fig. 6 comparison.
+func Rules() []Rule { return []Rule{MaxMin, P95, BetaMax} }
+
+// Default parameters from the paper.
+const (
+	// DefaultBeta is the beta-max fluctuation factor.
+	DefaultBeta = 1.2
+	// DefaultConsecutive is how many consecutive anomalous samples
+	// constitute a reported performance problem.
+	DefaultConsecutive = 3
+)
+
+// ErrNoTraining is returned when no usable training traces are supplied.
+var ErrNoTraining = errors.New("detect: no usable training traces")
+
+// Config parameterises detector training.
+type Config struct {
+	Rule        Rule
+	Beta        float64 // beta-max factor, default 1.2
+	Consecutive int     // default 3
+	Select      arima.SelectConfig
+}
+
+// DefaultConfig returns the paper's configuration (beta-max, beta=1.2,
+// 3 consecutive anomalies).
+//
+// The ARIMA order search is restricted to d=0: the CPI of a job under a
+// fixed operation context is mean-stationary by construction, and an
+// integrating (d>=1) model would adapt its one-step forecasts to a
+// fault-induced CPI level shift within a couple of samples, leaving only a
+// transient residual — the drift the detector exists to see would vanish.
+// A d=0 model stays anchored to the normal-state level, so a shift shows
+// up as a sustained residual.
+func DefaultConfig() Config {
+	sel := arima.DefaultSelectConfig()
+	sel.MaxD = 0
+	return Config{Rule: BetaMax, Beta: DefaultBeta, Consecutive: DefaultConsecutive, Select: sel}
+}
+
+// Detector is a trained CPI anomaly detector for one operation context.
+type Detector struct {
+	Model *arima.Model
+	Rule  Rule
+	// Upper is the residual-magnitude threshold; Lower is only used by
+	// the max-min rule (an anomaly also fires when |residual| drops below
+	// it, which is what gives max-min its extra cost and false alarms).
+	Upper       float64
+	Lower       float64
+	Consecutive int
+}
+
+// Train fits an ARIMA model on the normal CPI traces and derives the
+// thresholds per cfg: "Each type of workload is repeated for N times...
+// we use the trained ARIMA model to fit the CPI data during N runs. The
+// absolute value of fitting residual is denoted by R."
+func Train(traces [][]float64, cfg Config) (*Detector, error) {
+	if cfg.Beta <= 0 {
+		cfg.Beta = DefaultBeta
+	}
+	if cfg.Consecutive <= 0 {
+		cfg.Consecutive = DefaultConsecutive
+	}
+	model, err := arima.FitMulti(traces, cfg.Select)
+	if err != nil {
+		return nil, fmt.Errorf("detect: %w", err)
+	}
+	var r []float64
+	for _, tr := range traces {
+		res, err := model.Residuals(tr)
+		if err != nil {
+			continue
+		}
+		r = append(r, stats.Abs(res)...)
+	}
+	if len(r) == 0 {
+		return nil, ErrNoTraining
+	}
+	d := &Detector{Model: model, Rule: cfg.Rule, Consecutive: cfg.Consecutive}
+	switch cfg.Rule {
+	case MaxMin:
+		d.Upper, _ = stats.Max(r)
+		d.Lower, _ = stats.Min(r)
+	case P95:
+		d.Upper, _ = stats.Percentile(r, 95)
+	case BetaMax:
+		mx, _ := stats.Max(r)
+		d.Upper = cfg.Beta * mx
+	default:
+		return nil, fmt.Errorf("detect: unknown rule %v", cfg.Rule)
+	}
+	return d, nil
+}
+
+// Residual returns |observed − predicted| for the sample following history.
+func (d *Detector) Residual(history []float64, observed float64) (float64, error) {
+	pred, err := d.Model.PredictNext(history)
+	if err != nil {
+		return 0, err
+	}
+	diff := observed - pred
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff, nil
+}
+
+// Anomalous classifies a single residual magnitude under the rule.
+func (d *Detector) Anomalous(residual float64) bool {
+	switch d.Rule {
+	case MaxMin:
+		return residual > d.Upper || residual < d.Lower
+	default:
+		return residual > d.Upper
+	}
+}
+
+// ResidualSeries returns |one-step residuals| of the model over a full CPI
+// trace (for Fig. 5-style plots). The first d+max(p,q) samples are skipped.
+func (d *Detector) ResidualSeries(trace []float64) ([]float64, error) {
+	res, err := d.Model.Residuals(trace)
+	if err != nil {
+		return nil, err
+	}
+	return stats.Abs(res), nil
+}
+
+// Monitor is the online detection state for one running job: feed CPI
+// samples as they arrive; Alert fires after Consecutive anomalous samples
+// in a row.
+type Monitor struct {
+	d       *Detector
+	history []float64
+	run     int
+	alerted bool
+	// AnomalyLog records the per-sample anomaly decisions (Fig. 6 plots).
+	AnomalyLog []bool
+}
+
+// NewMonitor starts a monitor seeded with the warm-up CPI history (at least
+// the model's lag depth; typically the first samples of the run).
+func (d *Detector) NewMonitor(warmup []float64) *Monitor {
+	return &Monitor{d: d, history: append([]float64(nil), warmup...)}
+}
+
+// Offer feeds one CPI sample and returns whether this sample is anomalous.
+// Samples too early to predict are treated as normal.
+func (m *Monitor) Offer(sample float64) bool {
+	res, err := m.d.Residual(m.history, sample)
+	m.history = append(m.history, sample)
+	anom := err == nil && m.d.Anomalous(res)
+	if anom {
+		m.run++
+		if m.run >= m.d.Consecutive {
+			m.alerted = true
+		}
+	} else {
+		m.run = 0
+	}
+	m.AnomalyLog = append(m.AnomalyLog, anom)
+	return anom
+}
+
+// Alert reports whether the consecutive-anomaly rule has fired.
+func (m *Monitor) Alert() bool { return m.alerted }
+
+// Reset clears the alert state but keeps the history (diagnosis resolved,
+// monitoring continues).
+func (m *Monitor) Reset() {
+	m.alerted = false
+	m.run = 0
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"invarnetx/internal/arx"
+	"invarnetx/internal/core"
+	"invarnetx/internal/faults"
+	"invarnetx/internal/workload"
+)
+
+// SystemVariant names the three systems compared in Figs. 9 and 10.
+type SystemVariant string
+
+// The compared systems.
+const (
+	// VariantInvarNetX is the full system: MIC invariants + operation
+	// context.
+	VariantInvarNetX SystemVariant = "invarnet-x"
+	// VariantARX replaces MIC with the ARX fitness of Jiang et al.
+	VariantARX SystemVariant = "arx"
+	// VariantNoContext is InvarNet-X without operation context: one
+	// global model and an unscoped signature base.
+	VariantNoContext SystemVariant = "no-context"
+)
+
+// Variants returns the comparison set in presentation order.
+func Variants() []SystemVariant {
+	return []SystemVariant{VariantInvarNetX, VariantARX, VariantNoContext}
+}
+
+// configFor builds the core configuration of a variant on top of base.
+func configFor(v SystemVariant, base core.Config) core.Config {
+	cfg := base
+	switch v {
+	case VariantARX:
+		cfg.Assoc = arx.Association
+		cfg.AssocName = "arx"
+	case VariantNoContext:
+		cfg.UseContext = false
+	}
+	return cfg
+}
+
+// ComparisonResult is the Figs. 9/10 experiment: per-fault precision and
+// recall of the three systems on one workload.
+type ComparisonResult struct {
+	Workload workload.Type
+	Studies  map[SystemVariant]*Study
+}
+
+// RunComparison executes the full diagnosis study once per system variant.
+func (r *Runner) RunComparison(w workload.Type) (*ComparisonResult, error) {
+	out := &ComparisonResult{Workload: w, Studies: make(map[SystemVariant]*Study)}
+	for _, v := range Variants() {
+		opts := r.opts
+		// Faults rotate across the heterogeneous nodes so that the value
+		// of per-node scoping is actually exercised; all three variants
+		// see identical runs.
+		opts.RotateTargets = true
+		opts.Config = configFor(v, r.opts.Config)
+		st, err := NewRunner(opts).RunDiagnosisStudy(w, string(v))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s study: %w", v, err)
+		}
+		out.Studies[v] = st
+	}
+	return out, nil
+}
+
+// Print writes the Fig. 9 (precision) and Fig. 10 (recall) rows.
+func (c *ComparisonResult) Print(w io.Writer) {
+	c.PrintPrecision(w)
+	c.PrintRecall(w)
+}
+
+// PrintPrecision writes the Fig. 9 table.
+func (c *ComparisonResult) PrintPrecision(w io.Writer) {
+	c.printMetric(w, "Fig 9: diagnosis precision", func(s StudyRow) float64 { return s.Counts.Precision() })
+	fmt.Fprintf(w, "  averages: invarnet-x %.3f, arx %.3f, no-context %.3f (paper: InvarNet-X ~9%% above ARX; no-context far below)\n",
+		c.Studies[VariantInvarNetX].AveragePrecision(),
+		c.Studies[VariantARX].AveragePrecision(),
+		c.Studies[VariantNoContext].AveragePrecision())
+}
+
+// PrintRecall writes the Fig. 10 table.
+func (c *ComparisonResult) PrintRecall(w io.Writer) {
+	c.printMetric(w, "Fig 10: diagnosis recall", func(s StudyRow) float64 { return s.Counts.Recall() })
+	fmt.Fprintf(w, "  averages: invarnet-x %.3f, arx %.3f, no-context %.3f (paper: InvarNet-X ~ ARX; no-context far below)\n",
+		c.Studies[VariantInvarNetX].AverageRecall(),
+		c.Studies[VariantARX].AverageRecall(),
+		c.Studies[VariantNoContext].AverageRecall())
+}
+
+func (c *ComparisonResult) printMetric(w io.Writer, title string, metric func(StudyRow) float64) {
+	fmt.Fprintf(w, "%s (%s; faults rotate across the heterogeneous nodes)\n", title, c.Workload)
+	fmt.Fprintf(w, "  %-10s %12s %12s %12s\n", "fault", VariantInvarNetX, VariantARX, VariantNoContext)
+	base := c.Studies[VariantInvarNetX]
+	for _, row := range base.Rows {
+		fmt.Fprintf(w, "  %-10s", row.Fault)
+		for _, v := range Variants() {
+			st := c.Studies[v]
+			if r2 := st.Row(row.Fault); r2 != nil {
+				fmt.Fprintf(w, " %12.2f", metric(*r2))
+			} else {
+				fmt.Fprintf(w, " %12s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintStudy writes a single study's per-fault rows (Figs. 7 and 8).
+func PrintStudy(w io.Writer, st *Study, paperNote string) {
+	fmt.Fprintf(w, "Diagnosis study (%s, system=%s)\n", st.Workload, st.System)
+	fmt.Fprintf(w, "  %-10s %9s %9s %9s\n", "fault", "precision", "recall", "detected")
+	for _, row := range st.Rows {
+		fmt.Fprintf(w, "  %-10s %9.2f %9.2f %6d/%d\n",
+			row.Fault, row.Counts.Precision(), row.Counts.Recall(), row.Detected, row.Runs)
+	}
+	fmt.Fprintf(w, "  averages: precision %.3f, recall %.3f", st.AveragePrecision(), st.AverageRecall())
+	if paperNote != "" {
+		fmt.Fprintf(w, "  (%s)", paperNote)
+	}
+	fmt.Fprintln(w)
+}
+
+// RunFig7 is the TPC-DS diagnosis study (Fig. 7).
+func (r *Runner) RunFig7() (*Study, error) {
+	return r.RunDiagnosisStudy(workload.TPCDS, string(VariantInvarNetX))
+}
+
+// RunFig8 is the Wordcount diagnosis study (Fig. 8).
+func (r *Runner) RunFig8() (*Study, error) {
+	return r.RunDiagnosisStudy(workload.Wordcount, string(VariantInvarNetX))
+}
+
+// ConfusionPair reports how often two faults were mistaken for each other —
+// the paper's "signature conflict" analysis for Net-drop vs Net-delay.
+type ConfusionPair struct {
+	A, B       faults.Kind
+	AasB, BasA int
+	Runs       int
+}
+
+// RunConfusion measures the mutual confusion of two faults under w.
+func (r *Runner) RunConfusion(w workload.Type, a, b faults.Kind) (*ConfusionPair, error) {
+	sys, _, err := r.TrainSystem(w)
+	if err != nil {
+		return nil, err
+	}
+	for _, kind := range []faults.Kind{a, b} {
+		for i := 0; i < r.opts.SignatureRuns; i++ {
+			res, err := r.Run(w, kind, 100000+i)
+			if err != nil {
+				return nil, err
+			}
+			win, err := AbnormalWindow(res.TargetTrace(), res.Window.Start, r.opts.FaultTicks)
+			if err != nil {
+				return nil, err
+			}
+			ctx := core.Context{Workload: string(w), IP: res.TargetIP}
+			if err := sys.BuildSignature(ctx, string(kind), win); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := &ConfusionPair{A: a, B: b, Runs: r.opts.RunsPerFault - r.opts.SignatureRuns}
+	for i := 0; i < out.Runs; i++ {
+		for _, kind := range []faults.Kind{a, b} {
+			res, err := r.Run(w, kind, i)
+			if err != nil {
+				return nil, err
+			}
+			pred, _, err := r.detectAndDiagnose(sys, w, res)
+			if err != nil {
+				return nil, err
+			}
+			if kind == a && pred == string(b) {
+				out.AasB++
+			}
+			if kind == b && pred == string(a) {
+				out.BasA++
+			}
+		}
+	}
+	return out, nil
+}

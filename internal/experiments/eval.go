@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"invarnetx/internal/core"
+	"invarnetx/internal/faults"
+	"invarnetx/internal/workload"
+)
+
+// PRCounts accumulates a per-fault confusion tally for multi-class
+// diagnosis: TP = runs of this fault diagnosed as this fault; FN = runs of
+// this fault diagnosed otherwise (or not detected at all); FP = runs of
+// other faults diagnosed as this fault.
+type PRCounts struct {
+	TP, FP, FN int
+}
+
+// Precision returns TP/(TP+FP), 0 when undefined.
+func (c PRCounts) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), 0 when undefined.
+func (c PRCounts) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// StudyRow is one fault's outcome in a diagnosis study.
+type StudyRow struct {
+	Fault    faults.Kind
+	Counts   PRCounts
+	Runs     int
+	Detected int // runs where the anomaly detector fired
+}
+
+// Study is the result of a full-pipeline diagnosis experiment (Figs. 7-10).
+type Study struct {
+	Workload workload.Type
+	System   string // "invarnet-x", "arx", "no-context"
+	Rows     []StudyRow
+}
+
+// Row returns the row for kind, or nil.
+func (s *Study) Row(kind faults.Kind) *StudyRow {
+	for i := range s.Rows {
+		if s.Rows[i].Fault == kind {
+			return &s.Rows[i]
+		}
+	}
+	return nil
+}
+
+// AveragePrecision returns the unweighted mean per-fault precision.
+func (s *Study) AveragePrecision() float64 {
+	if len(s.Rows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range s.Rows {
+		sum += r.Counts.Precision()
+	}
+	return sum / float64(len(s.Rows))
+}
+
+// AverageRecall returns the unweighted mean per-fault recall.
+func (s *Study) AverageRecall() float64 {
+	if len(s.Rows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range s.Rows {
+		sum += r.Counts.Recall()
+	}
+	return sum / float64(len(s.Rows))
+}
+
+// monWarmup is the number of initial CPI samples used to seed the online
+// monitor (must cover the ARIMA lag depth and precede FaultStart).
+const monWarmup = 6
+
+// RunDiagnosisStudy executes the full InvarNet-X pipeline for workload w:
+// train models and invariants on normal runs, build the signature database
+// from SignatureRuns runs per fault, then detect + diagnose the remaining
+// runs and tally per-fault precision/recall. systemName labels the result.
+func (r *Runner) RunDiagnosisStudy(w workload.Type, systemName string) (*Study, error) {
+	sys, _, err := r.TrainSystem(w)
+	if err != nil {
+		return nil, err
+	}
+	kinds := FaultKindsFor(w)
+
+	// Signature-base building: the paper uses 2 of each fault's 40 runs
+	// to train signatures, with the fault window known (the problem was
+	// investigated). With rotating targets, every node needs its own
+	// investigated runs (signatures are stored per operation context).
+	sigNodes := 1
+	if r.opts.RotateTargets {
+		sigNodes = r.opts.Slaves
+	}
+	for _, kind := range kinds {
+		for node := 0; node < sigNodes; node++ {
+			for i := 0; i < r.opts.SignatureRuns; i++ {
+				// The run index selects the rotated target node.
+				idx := 100000 + i*r.opts.Slaves + node
+				res, err := r.Run(w, kind, idx)
+				if err != nil {
+					return nil, err
+				}
+				tr := res.TargetTrace()
+				win, err := AbnormalWindow(tr, res.Window.Start, r.opts.FaultTicks)
+				if err != nil {
+					return nil, err
+				}
+				ctx := core.Context{Workload: string(w), IP: res.TargetIP}
+				if err := sys.BuildSignature(ctx, string(kind), win); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Online detection + cause inference on the test runs.
+	study := &Study{Workload: w, System: systemName}
+	counts := make(map[faults.Kind]*PRCounts, len(kinds))
+	detected := make(map[faults.Kind]int, len(kinds))
+	for _, kind := range kinds {
+		counts[kind] = &PRCounts{}
+	}
+	testRuns := r.opts.RunsPerFault - r.opts.SignatureRuns
+	for _, kind := range kinds {
+		for i := 0; i < testRuns; i++ {
+			res, err := r.Run(w, kind, i)
+			if err != nil {
+				return nil, err
+			}
+			pred, wasDetected, err := r.detectAndDiagnose(sys, w, res)
+			if err != nil {
+				return nil, err
+			}
+			if wasDetected {
+				detected[kind]++
+			}
+			switch {
+			case pred == string(kind):
+				counts[kind].TP++
+			case pred == "":
+				counts[kind].FN++
+			default:
+				counts[kind].FN++
+				if c, ok := counts[faults.Kind(pred)]; ok {
+					c.FP++
+				}
+			}
+		}
+	}
+	for _, kind := range kinds {
+		study.Rows = append(study.Rows, StudyRow{
+			Fault:    kind,
+			Counts:   *counts[kind],
+			Runs:     testRuns,
+			Detected: detected[kind],
+		})
+	}
+	sort.Slice(study.Rows, func(a, b int) bool { return study.Rows[a].Fault < study.Rows[b].Fault })
+	return study, nil
+}
+
+// detectAndDiagnose runs the online path on one faulted run: monitor the
+// target node's CPI, and on alert diagnose the post-alert window. It
+// returns the predicted cause ("" when undetected or unmatched).
+func (r *Runner) detectAndDiagnose(sys *core.System, w workload.Type, res *RunResult) (string, bool, error) {
+	tr := res.TargetTrace()
+	if tr == nil || tr.Len() <= monWarmup {
+		return "", false, fmt.Errorf("experiments: run produced no usable trace")
+	}
+	ctx := core.Context{Workload: string(w), IP: res.TargetIP}
+	mon, err := sys.NewMonitor(ctx, tr.CPI[:monWarmup])
+	if err != nil {
+		return "", false, err
+	}
+	alertTick := -1
+	for i := monWarmup; i < tr.Len(); i++ {
+		mon.Offer(tr.CPI[i])
+		if mon.Alert() {
+			alertTick = i
+			break
+		}
+	}
+	if alertTick < 0 {
+		return "", false, nil
+	}
+	// Diagnose from the start of the anomalous stretch (the consecutive
+	// rule means the problem began Consecutive-1 samples earlier).
+	from := alertTick - (sys.Config().Detect.Consecutive - 1)
+	win, err := AbnormalWindow(tr, from, r.opts.FaultTicks)
+	if err != nil {
+		return "", true, err
+	}
+	diag, err := sys.Diagnose(ctx, win)
+	if err != nil {
+		return "", true, err
+	}
+	return diag.RootCause(), true, nil
+}

@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"invarnetx/internal/cluster"
+	"invarnetx/internal/core"
+	"invarnetx/internal/faults"
+	"invarnetx/internal/signature"
+	"invarnetx/internal/stats"
+	"invarnetx/internal/workload"
+)
+
+// This file implements the extensions the paper sketches but defers:
+//
+//   - multiple simultaneous faults ("our method could be easily extended to
+//     multiple faults by listing multiple root causes whose signatures are
+//     most similar to the violation tuple", §4.1);
+//   - the growing signature base ("As more performance problems are
+//     diagnosed, the number of items in signature database increases
+//     gradually", §3.3) — measured as accuracy versus database coverage;
+//   - signature-contrast calibration: the per-fault self/cross similarity
+//     matrix that predicts which problems a deployment can tell apart.
+
+// ---------------------------------------------------------------------------
+// Multiple simultaneous faults.
+// ---------------------------------------------------------------------------
+
+// MultiFaultResult evaluates top-K diagnosis under two simultaneous faults
+// on the same node.
+type MultiFaultResult struct {
+	Workload workload.Type
+	Pairs    []MultiFaultPair
+	// HitAt1 / HitAt2 aggregate over all pairs and runs: the fraction of
+	// injected faults found within the top-1 / top-2 ranked causes.
+	HitAt1, HitAt2 float64
+}
+
+// MultiFaultPair is one fault combination's outcome.
+type MultiFaultPair struct {
+	A, B faults.Kind
+	Runs int
+	// BothInTop2 counts runs where the top-2 causes are exactly {A, B}.
+	BothInTop2 int
+	// OneInTop1 counts runs where the top cause is A or B.
+	OneInTop1 int
+}
+
+// multiFaultPairs are combinations whose effects overlap little, the
+// plausible simultaneous-failure scenarios.
+var multiFaultPairs = [][2]faults.Kind{
+	{faults.CPUHog, faults.MemHog},
+	{faults.DiskHog, faults.ThreadLeak},
+	{faults.MemHog, faults.BlockCorruption},
+}
+
+// RunMultiFault trains the system and signature base as usual (single-fault
+// signatures), then injects fault pairs and checks whether both culprits
+// surface in the top-ranked causes.
+func (r *Runner) RunMultiFault(w workload.Type, runsPerPair int) (*MultiFaultResult, error) {
+	if runsPerPair <= 0 {
+		runsPerPair = 6
+	}
+	sys, _, err := r.TrainSystem(w)
+	if err != nil {
+		return nil, err
+	}
+	kinds := FaultKindsFor(w)
+	for _, kind := range kinds {
+		for i := 0; i < r.opts.SignatureRuns; i++ {
+			res, err := r.Run(w, kind, 100000+i)
+			if err != nil {
+				return nil, err
+			}
+			win, err := AbnormalWindow(res.TargetTrace(), res.Window.Start, r.opts.FaultTicks)
+			if err != nil {
+				return nil, err
+			}
+			ctx := core.Context{Workload: string(w), IP: res.TargetIP}
+			if err := sys.BuildSignature(ctx, string(kind), win); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := &MultiFaultResult{Workload: w}
+	var hits1, hits2, total int
+	for _, pairKinds := range multiFaultPairs {
+		pair := MultiFaultPair{A: pairKinds[0], B: pairKinds[1], Runs: runsPerPair}
+		for i := 0; i < runsPerPair; i++ {
+			res, err := r.runPair(w, pairKinds[0], pairKinds[1], i)
+			if err != nil {
+				return nil, err
+			}
+			win, err := AbnormalWindow(res.TargetTrace(), res.Window.Start, r.opts.FaultTicks)
+			if err != nil {
+				return nil, err
+			}
+			ctx := core.Context{Workload: string(w), IP: res.TargetIP}
+			diag, err := sys.Diagnose(ctx, win)
+			if err != nil {
+				return nil, err
+			}
+			want := map[string]bool{string(pairKinds[0]): true, string(pairKinds[1]): true}
+			if len(diag.Causes) > 0 && want[diag.Causes[0].Problem] {
+				pair.OneInTop1++
+				hits1++
+			}
+			if len(diag.Causes) > 1 && want[diag.Causes[0].Problem] && want[diag.Causes[1].Problem] {
+				pair.BothInTop2++
+				hits2++
+			}
+			total++
+		}
+		out.Pairs = append(out.Pairs, pair)
+	}
+	if total > 0 {
+		out.HitAt1 = float64(hits1) / float64(total)
+		out.HitAt2 = float64(hits2) / float64(total)
+	}
+	return out, nil
+}
+
+// runPair executes a run with two faults injected on the same target node.
+func (r *Runner) runPair(w workload.Type, a, b faults.Kind, idx int) (*RunResult, error) {
+	return r.execute(w, "pair/"+string(a)+"+"+string(b), idx, func(c *cluster.Cluster, rng *stats.RNG, res *RunResult) error {
+		target := c.Slaves()[0]
+		res.TargetIP = target.IP
+		res.Fault = a // primary label; both are active
+		for i, kind := range []faults.Kind{a, b} {
+			inj, err := faults.New(kind, res.Window, rng.Fork(int64(i)))
+			if err != nil {
+				return err
+			}
+			target.Attach(inj)
+		}
+		return nil
+	})
+}
+
+// Print writes the multi-fault rows.
+func (m *MultiFaultResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Multi-fault extension (%s): two simultaneous faults, top-K retrieval\n", m.Workload)
+	for _, p := range m.Pairs {
+		fmt.Fprintf(w, "  %s + %s: top-1 names one culprit %d/%d, top-2 names both %d/%d\n",
+			p.A, p.B, p.OneInTop1, p.Runs, p.BothInTop2, p.Runs)
+	}
+	fmt.Fprintf(w, "  aggregate: hit@1 %.2f, both@2 %.2f\n", m.HitAt1, m.HitAt2)
+}
+
+// ---------------------------------------------------------------------------
+// Growing signature base.
+// ---------------------------------------------------------------------------
+
+// GrowthPoint is diagnosis quality with a database covering the first K
+// fault kinds.
+type GrowthPoint struct {
+	KnownFaults int
+	// KnownAccuracy is the top-1 accuracy on faults whose signatures are
+	// in the database.
+	KnownAccuracy float64
+	// UnknownHinted is the fraction of runs of not-yet-investigated
+	// faults that produced violated-pair hints (the paper's fallback for
+	// unknown problems).
+	UnknownHinted float64
+}
+
+// GrowthResult traces accuracy as the signature base grows.
+type GrowthResult struct {
+	Workload workload.Type
+	Points   []GrowthPoint
+}
+
+// RunSignatureGrowth evaluates the database lifecycle: starting empty,
+// signatures are added fault by fault (the paper's "as more performance
+// problems are diagnosed"); at each step the known faults' accuracy and the
+// unknown faults' hint coverage are measured on fresh runs.
+func (r *Runner) RunSignatureGrowth(w workload.Type, testRunsPerFault int) (*GrowthResult, error) {
+	if testRunsPerFault <= 0 {
+		testRunsPerFault = 3
+	}
+	sys, _, err := r.TrainSystem(w)
+	if err != nil {
+		return nil, err
+	}
+	kinds := FaultKindsFor(w)
+	out := &GrowthResult{Workload: w}
+	steps := []int{2, len(kinds) / 2, len(kinds)}
+	added := 0
+	for _, step := range steps {
+		for ; added < step && added < len(kinds); added++ {
+			kind := kinds[added]
+			for i := 0; i < r.opts.SignatureRuns; i++ {
+				res, err := r.Run(w, kind, 100000+i)
+				if err != nil {
+					return nil, err
+				}
+				win, err := AbnormalWindow(res.TargetTrace(), res.Window.Start, r.opts.FaultTicks)
+				if err != nil {
+					return nil, err
+				}
+				ctx := core.Context{Workload: string(w), IP: res.TargetIP}
+				if err := sys.BuildSignature(ctx, string(kind), win); err != nil {
+					return nil, err
+				}
+			}
+		}
+		pt := GrowthPoint{KnownFaults: added}
+		var knownOK, knownTotal, hinted, unknownTotal int
+		for ki, kind := range kinds {
+			for i := 0; i < testRunsPerFault; i++ {
+				res, err := r.Run(w, kind, i)
+				if err != nil {
+					return nil, err
+				}
+				pred, detected, err := r.detectAndDiagnose(sys, w, res)
+				if err != nil {
+					return nil, err
+				}
+				if ki < added {
+					knownTotal++
+					if pred == string(kind) {
+						knownOK++
+					}
+				} else {
+					unknownTotal++
+					if detected {
+						hinted++
+					}
+				}
+			}
+		}
+		if knownTotal > 0 {
+			pt.KnownAccuracy = float64(knownOK) / float64(knownTotal)
+		}
+		if unknownTotal > 0 {
+			pt.UnknownHinted = float64(hinted) / float64(unknownTotal)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// Print writes the growth curve.
+func (g *GrowthResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Signature-base growth (%s)\n", g.Workload)
+	for _, p := range g.Points {
+		fmt.Fprintf(w, "  %2d investigated faults: known-fault accuracy %.2f, unknown faults hinted %.2f\n",
+			p.KnownFaults, p.KnownAccuracy, p.UnknownHinted)
+	}
+	fmt.Fprintln(w, "  (accuracy on investigated problems should hold as coverage grows;")
+	fmt.Fprintln(w, "   uninvestigated problems still get detected and reported with hints)")
+}
+
+// ---------------------------------------------------------------------------
+// Signature contrast calibration.
+// ---------------------------------------------------------------------------
+
+// ContrastRow is one fault's separability measured from fresh runs (not the
+// stored database): mean self-similarity of its tuples across runs versus
+// the highest mean similarity to any other fault's tuples.
+type ContrastRow struct {
+	Fault      faults.Kind
+	Self       float64
+	WorstCross float64
+	WorstKind  faults.Kind
+	TupleOnes  int
+}
+
+// Margin returns Self - WorstCross; negative values predict misdiagnosis.
+func (c ContrastRow) Margin() float64 { return c.Self - c.WorstCross }
+
+// ContrastResult is the full per-fault contrast table.
+type ContrastResult struct {
+	Workload   workload.Type
+	Invariants int
+	Rows       []ContrastRow
+}
+
+// RunContrast computes the contrast table from tuplesPerFault fresh runs of
+// every fault — the calibration view used to tune fault distinguishability
+// during development, kept as a first-class diagnostic.
+func (r *Runner) RunContrast(w workload.Type, tuplesPerFault int) (*ContrastResult, error) {
+	if tuplesPerFault < 2 {
+		tuplesPerFault = 3
+	}
+	sys, _, err := r.TrainSystem(w)
+	if err != nil {
+		return nil, err
+	}
+	ctx := core.Context{Workload: string(w), IP: firstSlaveIP}
+	set, err := sys.Invariants(ctx)
+	if err != nil {
+		return nil, err
+	}
+	kinds := FaultKindsFor(w)
+	tuples := make(map[faults.Kind][]signature.Tuple, len(kinds))
+	for _, kind := range kinds {
+		for i := 0; i < tuplesPerFault; i++ {
+			res, err := r.Run(w, kind, 200000+i)
+			if err != nil {
+				return nil, err
+			}
+			win, err := AbnormalWindow(res.TargetTrace(), res.Window.Start, r.opts.FaultTicks)
+			if err != nil {
+				return nil, err
+			}
+			tu, _, err := sys.ViolationTuple(core.Context{Workload: string(w), IP: res.TargetIP}, win)
+			if err != nil {
+				return nil, err
+			}
+			tuples[kind] = append(tuples[kind], tu)
+		}
+	}
+	out := &ContrastResult{Workload: w, Invariants: set.Len()}
+	meanSim := func(as, bs []signature.Tuple, skipSame bool) float64 {
+		var sum float64
+		n := 0
+		for i, a := range as {
+			for j, b := range bs {
+				if skipSame && i == j {
+					continue
+				}
+				v, err := signature.Similarity(a, b, r.opts.Config.Similarity)
+				if err != nil {
+					continue
+				}
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	for _, kind := range kinds {
+		row := ContrastRow{Fault: kind, Self: meanSim(tuples[kind], tuples[kind], true), TupleOnes: tuples[kind][0].Ones()}
+		for _, other := range kinds {
+			if other == kind {
+				continue
+			}
+			if c := meanSim(tuples[kind], tuples[other], false); c > row.WorstCross {
+				row.WorstCross = c
+				row.WorstKind = other
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	sort.Slice(out.Rows, func(a, b int) bool { return out.Rows[a].Margin() < out.Rows[b].Margin() })
+	return out, nil
+}
+
+// Print writes the contrast table, worst margins first.
+func (c *ContrastResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Signature contrast (%s): %d invariants\n", c.Workload, c.Invariants)
+	fmt.Fprintf(w, "  %-10s %6s %6s %7s  worst-confused-with\n", "fault", "self", "cross", "margin")
+	for _, row := range c.Rows {
+		fmt.Fprintf(w, "  %-10s %6.2f %6.2f %+7.2f  %s\n",
+			row.Fault, row.Self, row.WorstCross, row.Margin(), row.WorstKind)
+	}
+	fmt.Fprintln(w, "  (negative margins predict misdiagnosis; the paper's Lock-R sits here by design)")
+}

@@ -1,0 +1,410 @@
+// Package experiments reproduces the paper's evaluation (§4): one runner
+// per figure and table, each executing workloads on the simulated cluster,
+// training InvarNet-X, injecting faults, and reporting the same rows or
+// series the paper reports.
+//
+// The experiment index lives in DESIGN.md; EXPERIMENTS.md records measured
+// results against the paper's numbers.
+package experiments
+
+import (
+	"fmt"
+
+	"invarnetx/internal/cluster"
+	"invarnetx/internal/core"
+	"invarnetx/internal/cpi"
+	"invarnetx/internal/faults"
+	"invarnetx/internal/metrics"
+	"invarnetx/internal/stats"
+	"invarnetx/internal/workload"
+)
+
+// Options sizes an experiment. The defaults reproduce the paper's setup
+// scaled to simulator time; tests shrink RunsPerFault and TrainRuns to stay
+// fast.
+type Options struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Slaves is the number of slave nodes (paper: 4 slaves + 1 master).
+	Slaves int
+	// Heterogeneous varies slave hardware (makes operation context
+	// matter).
+	Heterogeneous bool
+	// InputMB is the batch job input size. The paper uses 15 GB; the
+	// default here is 12 GB, which yields jobs of 45-60 ticks — long
+	// enough to contain the 30-tick fault window.
+	InputMB float64
+	// TrainRuns is the number of normal runs used to train the ARIMA
+	// model and invariants per context (paper: 10-20).
+	TrainRuns int
+	// RunsPerFault is the total number of injected runs per fault kind
+	// (paper: 40), of which SignatureRuns train the signature database.
+	RunsPerFault int
+	// SignatureRuns is how many of the fault runs build signatures
+	// (paper: 2).
+	SignatureRuns int
+	// FaultStart and FaultTicks place the fault window within a run
+	// (paper: 5 minutes = 30 ticks).
+	FaultStart int
+	FaultTicks int
+	// SessionTicks is the length of an interactive (TPC-DS) run.
+	SessionTicks int
+	// SessionRate is the mean interactive query arrivals per tick.
+	SessionRate float64
+	// MaxRunTicks bounds a single run (wedged-job safety net).
+	MaxRunTicks int
+	// InvariantStride selects how invariant-training windows are cut from
+	// each normal run: 0 (default) takes one window per run at the fault
+	// offset — the paper's "N runs give N association matrices", aligned
+	// with the job phase a fault window covers; a positive value cuts
+	// windows at that stride instead (more matrices, stricter stability
+	// filter).
+	InvariantStride int
+	// FloorScale scales the collector's absolute noise floors (default 1).
+	FloorScale float64
+	// RotateTargets moves the fault target across the slave nodes from
+	// run to run instead of always hitting slave 0. The Figs. 9/10
+	// comparison enables it: with heterogeneous nodes, per-context
+	// signatures keep matching while a global (no-context) signature base
+	// mixes nodes whose baselines differ — the degradation the paper
+	// demonstrates.
+	RotateTargets bool
+	// Config configures the InvarNet-X instance under test.
+	Config core.Config
+}
+
+// DefaultOptions returns the paper-shaped configuration.
+func DefaultOptions() Options {
+	return Options{
+		Seed:          1,
+		Slaves:        4,
+		Heterogeneous: true,
+		InputMB:       12 * 1024,
+		TrainRuns:     8,
+		RunsPerFault:  40,
+		SignatureRuns: 2,
+		FaultStart:    10,
+		FaultTicks:    30,
+		SessionTicks:  70,
+		SessionRate:   1.0,
+		MaxRunTicks:   4000,
+		Config:        core.DefaultConfig(),
+	}
+}
+
+func (o *Options) defaults() {
+	d := DefaultOptions()
+	if o.Slaves <= 0 {
+		o.Slaves = d.Slaves
+	}
+	if o.InputMB <= 0 {
+		o.InputMB = d.InputMB
+	}
+	if o.TrainRuns <= 0 {
+		o.TrainRuns = d.TrainRuns
+	}
+	if o.RunsPerFault <= 0 {
+		o.RunsPerFault = d.RunsPerFault
+	}
+	if o.SignatureRuns <= 0 {
+		o.SignatureRuns = d.SignatureRuns
+	}
+	if o.FaultStart <= 0 {
+		o.FaultStart = d.FaultStart
+	}
+	if o.FaultTicks <= 0 {
+		o.FaultTicks = d.FaultTicks
+	}
+	if o.SessionTicks <= 0 {
+		o.SessionTicks = d.SessionTicks
+	}
+	if o.SessionRate <= 0 {
+		o.SessionRate = d.SessionRate
+	}
+	if o.MaxRunTicks <= 0 {
+		o.MaxRunTicks = d.MaxRunTicks
+	}
+	if o.FloorScale <= 0 {
+		o.FloorScale = 1
+	}
+	if o.Config.Assoc == nil {
+		o.Config = d.Config
+	}
+}
+
+// Runner executes simulated runs. Each run uses a fresh cluster seeded
+// deterministically from (experiment seed, run id), so results are
+// reproducible and runs are independent — matching the paper's methodology
+// of repeated job executions.
+type Runner struct {
+	opts Options
+}
+
+// NewRunner validates opts and returns a Runner.
+func NewRunner(opts Options) *Runner {
+	opts.defaults()
+	return &Runner{opts: opts}
+}
+
+// Options returns the effective options.
+func (r *Runner) Options() Options { return r.opts }
+
+// RunResult is everything observed during one run.
+type RunResult struct {
+	// Traces maps slave IP to its metric+CPI trace.
+	Traces map[string]*metrics.Trace
+	// TargetIP is the faulted node ("" for normal runs).
+	TargetIP string
+	// Fault is the injected fault ("" for normal runs).
+	Fault faults.Kind
+	// Window is the fault window in run-relative ticks.
+	Window faults.Window
+	// DurationTicks is the batch job duration (interactive runs report
+	// the session length).
+	DurationTicks int
+	// MeanQueryTicks is the mean completed-query latency (interactive).
+	MeanQueryTicks float64
+}
+
+// newCluster builds the run's cluster.
+func (r *Runner) newCluster(runSeed int64) *cluster.Cluster {
+	if r.opts.Heterogeneous {
+		return cluster.NewHeterogeneous(r.opts.Slaves, runSeed)
+	}
+	return cluster.New(r.opts.Slaves, runSeed)
+}
+
+// runSeed derives a per-run seed from the experiment seed, a stream label
+// and the run index.
+func (r *Runner) runSeed(stream string, idx int) int64 {
+	h := int64(1469598103934665603)
+	for _, b := range []byte(stream) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	return h ^ (r.opts.Seed * 2654435761) ^ (int64(idx) * 40503)
+}
+
+// firstSlaveIP is the IP of slave 0 — the fault target and the node whose
+// traces single-node analyses use.
+const firstSlaveIP = "10.0.0.2"
+
+// Run executes one run of workload w with an optional fault. For batch
+// workloads it submits a single job and runs it to completion; for TPC-DS
+// it drives a mixed interactive session for SessionTicks plus drain time.
+// fault=="" means a normal run.
+func (r *Runner) Run(w workload.Type, fault faults.Kind, idx int) (*RunResult, error) {
+	return r.execute(w, string(fault), idx, func(c *cluster.Cluster, rng *stats.RNG, res *RunResult) error {
+		if fault == "" {
+			return nil
+		}
+		target := c.Slaves()[0]
+		if r.opts.RotateTargets {
+			target = c.Slaves()[idx%len(c.Slaves())]
+		}
+		res.Fault = fault
+		res.TargetIP = target.IP
+		inj, err := faults.New(fault, res.Window, rng)
+		if err != nil {
+			return err
+		}
+		if fault == faults.Overload || fault == faults.Misconf {
+			// Cluster-wide faults: extra queries and misconfiguration
+			// affect every node.
+			for _, n := range c.Slaves() {
+				n.Attach(inj)
+			}
+		} else {
+			target.Attach(inj)
+		}
+		return nil
+	})
+}
+
+// runWithPerturbation executes a run with a custom perturbation (built from
+// the fault window) attached to every slave — used by the Fig. 2 benign
+// disturbance.
+func (r *Runner) runWithPerturbation(w workload.Type, idx int, mk func(faults.Window) cluster.Perturbation) (*RunResult, error) {
+	return r.execute(w, "perturbed", idx, func(c *cluster.Cluster, rng *stats.RNG, res *RunResult) error {
+		p := mk(res.Window)
+		for _, n := range c.Slaves() {
+			n.Attach(p)
+		}
+		res.TargetIP = c.Slaves()[0].IP
+		return nil
+	})
+}
+
+// execute is the shared run skeleton: build a cluster, attach whatever the
+// setup callback installs, drive the workload, and collect traces.
+func (r *Runner) execute(w workload.Type, stream string, idx int, setup func(c *cluster.Cluster, rng *stats.RNG, res *RunResult) error) (*RunResult, error) {
+	seed := r.runSeed(string(w)+"/"+stream, idx)
+	c := r.newCluster(seed)
+	rng := stats.NewRNG(seed + 7)
+	collector := metrics.NewCollector(rng.Fork(1))
+	collector.FloorScale = r.opts.FloorScale
+	sampler := cpi.NewSampler(rng.Fork(2))
+
+	res := &RunResult{Traces: make(map[string]*metrics.Trace)}
+	for _, n := range c.Slaves() {
+		res.Traces[n.IP] = metrics.NewTrace(n.IP, string(w))
+	}
+	res.Window = faults.Window{Start: r.opts.FaultStart, End: r.opts.FaultStart + r.opts.FaultTicks}
+	if err := setup(c, rng.Fork(3), res); err != nil {
+		return nil, err
+	}
+
+	observe := func(tick int) {
+		for _, n := range c.Slaves() {
+			tr := res.Traces[n.IP]
+			if err := tr.Add(collector.Collect(n), sampler.Sample(n, string(w))); err != nil {
+				panic(err) // collector width is a programming invariant
+			}
+		}
+	}
+
+	if workload.IsInteractive(w) {
+		sess := workload.NewSession(c, rng.Fork(4), r.opts.SessionRate)
+		for t := 0; t < r.opts.SessionTicks; t++ {
+			sess.Tick()
+			c.Step()
+			observe(c.Tick())
+		}
+		res.DurationTicks = r.opts.SessionTicks
+		if durs := sess.CompletedDurations(); len(durs) > 0 {
+			res.MeanQueryTicks = stats.MustMean(durs)
+		}
+		return res, nil
+	}
+
+	spec := workload.NewJob(w, workload.Params{InputMB: r.opts.InputMB, RNG: rng.Fork(5)})
+	spec = faults.TransformSpec(res.Fault, spec)
+	j := c.Submit(spec)
+	err := c.RunUntilDone(j, r.opts.MaxRunTicks, observe)
+	if err != nil {
+		// A wedged run (e.g. Suspend on every replica holder) still
+		// produced traces; report what happened.
+		res.DurationTicks = r.opts.MaxRunTicks
+		return res, nil
+	}
+	res.DurationTicks = j.DurationTicks()
+	return res, nil
+}
+
+// TargetTrace returns the faulted node's trace (the node InvarNet-X
+// diagnoses in fault experiments).
+func (res *RunResult) TargetTrace() *metrics.Trace {
+	if res.TargetIP == "" {
+		return nil
+	}
+	return res.Traces[res.TargetIP]
+}
+
+// TrainSystem builds an InvarNet-X instance trained on TrainRuns normal
+// runs of workload w: one performance model and one invariant set per slave
+// node context. It returns the system and the per-node normal traces of the
+// final training run (useful to seed monitors).
+func (r *Runner) TrainSystem(w workload.Type) (*core.System, []*RunResult, error) {
+	sys := core.New(r.opts.Config)
+	var runs []*RunResult
+	for i := 0; i < r.opts.TrainRuns; i++ {
+		res, err := r.Run(w, "", i)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: training run %d: %w", i, err)
+		}
+		runs = append(runs, res)
+	}
+	ips := make([]string, 0, len(runs[0].Traces))
+	for ip := range runs[0].Traces {
+		ips = append(ips, ip)
+	}
+	for _, ip := range ips {
+		ctx := core.Context{Workload: string(w), IP: ip}
+		var cpis [][]float64
+		var windows []*metrics.Trace
+		for _, res := range runs {
+			tr := res.Traces[ip]
+			cpis = append(cpis, tr.CPI)
+			// Invariant baselines are trained on windows of the same
+			// length as the diagnosis windows. MIC estimates depend on
+			// the sample size, so comparing a full-run baseline against
+			// a 30-sample abnormal window would register spurious
+			// violations everywhere; matched windows make baseline and
+			// abnormal scores exchangeable under normal operation, and
+			// Algorithm 1's stability test then prunes any pair whose
+			// windowed association genuinely fluctuates.
+			windows = append(windows, r.trainWindows(tr)...)
+		}
+		if err := sys.TrainPerformanceModel(ctx, cpis); err != nil {
+			return nil, nil, err
+		}
+		if err := sys.TrainInvariants(ctx, windows); err != nil {
+			return nil, nil, err
+		}
+	}
+	return sys, runs, nil
+}
+
+// trainWindows cuts invariant-training windows from one normal run per the
+// options: by default a single window at the fault offset; with a positive
+// InvariantStride, windows of the fault length at that stride.
+func (r *Runner) trainWindows(tr *metrics.Trace) []*metrics.Trace {
+	winLen := r.opts.FaultTicks
+	if tr.Len() <= winLen {
+		return []*metrics.Trace{tr}
+	}
+	if r.opts.InvariantStride <= 0 {
+		start := r.opts.FaultStart
+		if start+winLen > tr.Len() {
+			start = tr.Len() - winLen
+		}
+		win, err := tr.Slice(start, start+winLen)
+		if err != nil {
+			return []*metrics.Trace{tr}
+		}
+		return []*metrics.Trace{win}
+	}
+	var out []*metrics.Trace
+	for start := 0; start+winLen <= tr.Len(); start += r.opts.InvariantStride {
+		win, err := tr.Slice(start, start+winLen)
+		if err != nil {
+			break
+		}
+		out = append(out, win)
+	}
+	return out
+}
+
+// FaultKindsFor returns the fault set evaluated under workload w: all 15
+// kinds for interactive workloads, 14 (no Overload) for batch FIFO.
+func FaultKindsFor(w workload.Type) []faults.Kind {
+	var out []faults.Kind
+	for _, k := range faults.Kinds() {
+		if faults.InteractiveOnly(k) && !workload.IsInteractive(w) {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// AbnormalWindow extracts the diagnosis window from a run's target trace:
+// exactly length samples starting at from, shifted back when the trace ends
+// early (and truncated only if the whole trace is shorter than length).
+// Keeping every diagnosis window the same length as the invariant-training
+// windows keeps MIC's sample-size bias out of the violation comparison. The
+// online system cannot see the ground-truth fault window, so test runs pass
+// the detector's alert tick as from; signature training passes the true
+// window start.
+func AbnormalWindow(tr *metrics.Trace, from, length int) (*metrics.Trace, error) {
+	if length > tr.Len() {
+		length = tr.Len()
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from+length > tr.Len() {
+		from = tr.Len() - length
+	}
+	return tr.Slice(from, from+length)
+}

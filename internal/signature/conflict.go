@@ -1,0 +1,142 @@
+package signature
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Conflict is a pair of stored signatures whose tuples are so similar that
+// diagnosis will confuse their problems — the phenomenon the paper observes
+// between Net-drop and Net-delay ("That's a typical 'signature conflict'
+// which will be discussed in our future work"). This file is that future
+// work: database auditing that surfaces conflicts before they surface as
+// misdiagnoses.
+type Conflict struct {
+	A, B  Entry
+	Score float64
+}
+
+func (c Conflict) String() string {
+	return fmt.Sprintf("%s ~ %s (%.2f, %s@%s)", c.A.Problem, c.B.Problem, c.Score, c.A.Workload, c.A.IP)
+}
+
+// Conflicts returns every pair of signatures for *different* problems,
+// within the same operation context, whose similarity under measure meets
+// or exceeds threshold — sorted by descending similarity. Two signatures of
+// the same problem are expected to be similar and are not conflicts.
+func (db *DB) Conflicts(measure Measure, threshold float64) ([]Conflict, error) {
+	var out []Conflict
+	for i := 0; i < len(db.entries); i++ {
+		for j := i + 1; j < len(db.entries); j++ {
+			a, b := db.entries[i], db.entries[j]
+			if a.Problem == b.Problem {
+				continue
+			}
+			if a.IP != b.IP || a.Workload != b.Workload {
+				continue // different contexts never compete at match time
+			}
+			if len(a.Tuple) != len(b.Tuple) {
+				continue // stale tuple from an older invariant set
+			}
+			s, err := Similarity(a.Tuple, b.Tuple, measure)
+			if err != nil {
+				return nil, err
+			}
+			if s >= threshold {
+				out = append(out, Conflict{A: a, B: b, Score: s})
+			}
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		if out[x].Score != out[y].Score {
+			return out[x].Score > out[y].Score
+		}
+		if out[x].A.Problem != out[y].A.Problem {
+			return out[x].A.Problem < out[y].A.Problem
+		}
+		return out[x].B.Problem < out[y].B.Problem
+	})
+	return out, nil
+}
+
+// Separability summarises how distinguishable one problem's signatures are
+// within a context: the gap between its internal cohesion (mean similarity
+// among its own signatures) and its worst external similarity (highest mean
+// similarity to any other problem's signatures). A negative margin predicts
+// misdiagnosis.
+type Separability struct {
+	Problem       string
+	IP            string
+	Workload      string
+	Cohesion      float64 // mean intra-problem similarity (1 if single signature)
+	WorstExternal float64
+	WorstProblem  string
+}
+
+// Margin returns Cohesion - WorstExternal.
+func (s Separability) Margin() float64 { return s.Cohesion - s.WorstExternal }
+
+// Separabilities computes the per-problem separability report for every
+// (problem, context) group in the database.
+func (db *DB) Separabilities(measure Measure) ([]Separability, error) {
+	type key struct{ problem, ip, workload string }
+	groups := make(map[key][]Tuple)
+	for _, e := range db.entries {
+		k := key{e.Problem, e.IP, e.Workload}
+		groups[k] = append(groups[k], e.Tuple)
+	}
+	var out []Separability
+	for k, tuples := range groups {
+		s := Separability{Problem: k.problem, IP: k.ip, Workload: k.workload, Cohesion: 1}
+		if len(tuples) > 1 {
+			var sum float64
+			n := 0
+			for i := 0; i < len(tuples); i++ {
+				for j := i + 1; j < len(tuples); j++ {
+					v, err := Similarity(tuples[i], tuples[j], measure)
+					if err != nil {
+						return nil, err
+					}
+					sum += v
+					n++
+				}
+			}
+			s.Cohesion = sum / float64(n)
+		}
+		for k2, others := range groups {
+			if k2 == k || k2.ip != k.ip || k2.workload != k.workload {
+				continue
+			}
+			var sum float64
+			n := 0
+			for _, a := range tuples {
+				for _, b := range others {
+					if len(a) != len(b) {
+						continue
+					}
+					v, err := Similarity(a, b, measure)
+					if err != nil {
+						return nil, err
+					}
+					sum += v
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			if mean := sum / float64(n); mean > s.WorstExternal {
+				s.WorstExternal = mean
+				s.WorstProblem = k2.problem
+			}
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Margin() != out[b].Margin() {
+			return out[a].Margin() < out[b].Margin()
+		}
+		return out[a].Problem < out[b].Problem
+	})
+	return out, nil
+}

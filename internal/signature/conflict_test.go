@@ -1,0 +1,138 @@
+package signature
+
+import (
+	"testing"
+)
+
+func conflictDB() *DB {
+	var db DB
+	add := func(tuple, problem, ip, wl string) {
+		t, err := ParseTuple(tuple)
+		if err != nil {
+			panic(err)
+		}
+		db.Add(Entry{Tuple: t, Problem: problem, IP: ip, Workload: wl})
+	}
+	// net-drop and net-delay nearly identical (the paper's conflict).
+	add("111100", "net-drop", "10.0.0.2", "wordcount")
+	add("111000", "net-delay", "10.0.0.2", "wordcount")
+	// mem-hog clearly distinct.
+	add("000011", "mem-hog", "10.0.0.2", "wordcount")
+	// Same problems on another node must not cross-report.
+	add("110011", "net-drop", "10.0.0.3", "wordcount")
+	return &db
+}
+
+func TestConflictsFindsTheKnownPair(t *testing.T) {
+	db := conflictDB()
+	cs, err := db.Conflicts(Jaccard, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 {
+		t.Fatalf("conflicts = %v, want exactly the net pair", cs)
+	}
+	c := cs[0]
+	names := map[string]bool{c.A.Problem: true, c.B.Problem: true}
+	if !names["net-drop"] || !names["net-delay"] {
+		t.Errorf("conflict pair = %v", c)
+	}
+	if c.Score < 0.7 {
+		t.Errorf("conflict score = %v", c.Score)
+	}
+	if c.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestConflictsRespectsContextBoundaries(t *testing.T) {
+	var db DB
+	a, _ := ParseTuple("1100")
+	db.Add(Entry{Tuple: a, Problem: "x", IP: "n1", Workload: "w"})
+	db.Add(Entry{Tuple: a, Problem: "y", IP: "n2", Workload: "w"})
+	cs, err := db.Conflicts(Jaccard, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 0 {
+		t.Errorf("cross-context conflict reported: %v", cs)
+	}
+}
+
+func TestConflictsIgnoresSameProblem(t *testing.T) {
+	var db DB
+	a, _ := ParseTuple("1100")
+	db.Add(Entry{Tuple: a, Problem: "x", IP: "n1", Workload: "w"})
+	db.Add(Entry{Tuple: a, Problem: "x", IP: "n1", Workload: "w"})
+	cs, err := db.Conflicts(Jaccard, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 0 {
+		t.Errorf("same-problem pair reported as conflict: %v", cs)
+	}
+}
+
+func TestConflictsSkipsStaleTuples(t *testing.T) {
+	var db DB
+	a, _ := ParseTuple("1100")
+	b, _ := ParseTuple("110")
+	db.Add(Entry{Tuple: a, Problem: "x", IP: "n1", Workload: "w"})
+	db.Add(Entry{Tuple: b, Problem: "y", IP: "n1", Workload: "w"})
+	cs, err := db.Conflicts(Jaccard, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 0 {
+		t.Errorf("stale-length pair reported: %v", cs)
+	}
+}
+
+func TestSeparabilities(t *testing.T) {
+	db := conflictDB()
+	seps, err := db.Separabilities(Jaccard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProblem := map[string]Separability{}
+	for _, s := range seps {
+		if s.IP == "10.0.0.2" {
+			byProblem[s.Problem] = s
+		}
+	}
+	nd := byProblem["net-drop"]
+	mh := byProblem["mem-hog"]
+	if nd.WorstProblem != "net-delay" {
+		t.Errorf("net-drop worst external = %q", nd.WorstProblem)
+	}
+	if nd.Margin() >= mh.Margin() {
+		t.Errorf("net-drop margin %.2f should be below mem-hog margin %.2f", nd.Margin(), mh.Margin())
+	}
+	// Sorted ascending by margin: the conflicted pair first.
+	if len(seps) > 0 && seps[0].Margin() > seps[len(seps)-1].Margin() {
+		t.Error("separabilities not sorted by margin")
+	}
+	// Single-signature problems report cohesion 1.
+	if mh.Cohesion != 1 {
+		t.Errorf("mem-hog cohesion = %v", mh.Cohesion)
+	}
+}
+
+func TestSeparabilitiesMultipleSignatures(t *testing.T) {
+	var db DB
+	t1, _ := ParseTuple("1100")
+	t2, _ := ParseTuple("1110")
+	db.Add(Entry{Tuple: t1, Problem: "x", IP: "n", Workload: "w"})
+	db.Add(Entry{Tuple: t2, Problem: "x", IP: "n", Workload: "w"})
+	seps, err := db.Separabilities(Jaccard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seps) != 1 {
+		t.Fatalf("seps = %v", seps)
+	}
+	// Cohesion = J(1100, 1110) = 2/3.
+	if diff := seps[0].Cohesion - 2.0/3.0; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("cohesion = %v, want 2/3", seps[0].Cohesion)
+	}
+}

@@ -1,0 +1,64 @@
+package signature
+
+import (
+	"testing"
+)
+
+// FuzzParseTuple exercises the tuple parser with arbitrary byte strings:
+// it must either reject the input or round-trip it exactly.
+func FuzzParseTuple(f *testing.F) {
+	f.Add("")
+	f.Add("0")
+	f.Add("0110100")
+	f.Add("2")
+	f.Add("01x10")
+	f.Fuzz(func(t *testing.T, s string) {
+		tu, err := ParseTuple(s)
+		if err != nil {
+			return // rejected input, fine
+		}
+		if tu.String() != s {
+			t.Fatalf("round trip %q -> %q", s, tu.String())
+		}
+		if tu.Ones() < 0 || tu.Ones() > len(tu) {
+			t.Fatalf("Ones out of range for %q", s)
+		}
+	})
+}
+
+// FuzzSimilarity checks the similarity invariants for arbitrary same-length
+// tuples under every measure.
+func FuzzSimilarity(f *testing.F) {
+	f.Add("", "", 0)
+	f.Add("10", "01", 1)
+	f.Add("111", "111", 2)
+	f.Fuzz(func(t *testing.T, as, bs string, mRaw int) {
+		a, errA := ParseTuple(as)
+		b, errB := ParseTuple(bs)
+		if errA != nil || errB != nil {
+			return
+		}
+		m := Measure(((mRaw % 3) + 3) % 3)
+		s, err := Similarity(a, b, m)
+		if len(a) != len(b) {
+			if err == nil {
+				t.Fatal("length mismatch accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < 0 || s > 1 {
+			t.Fatalf("similarity %v out of [0,1]", s)
+		}
+		s2, _ := Similarity(b, a, m)
+		if s != s2 {
+			t.Fatalf("asymmetric: %v vs %v", s, s2)
+		}
+		self, _ := Similarity(a, a, m)
+		if self != 1 {
+			t.Fatalf("self-similarity %v != 1", self)
+		}
+	})
+}

@@ -1,0 +1,284 @@
+// Package signature implements the signature database of the paper (§2,
+// §3.3): each investigated performance problem is stored as a binary
+// violation tuple under its operation context, in the four-tuple format
+// (binary tuple, problem name, ip, workload type). Diagnosis retrieves the
+// stored signatures most similar to an observed violation tuple and reports
+// their problems as the ranked root-cause list, most probable first.
+package signature
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Tuple is a binary violation tuple. Its coordinate system is the sorted
+// invariant pair list of the operation context it was computed under.
+type Tuple []bool
+
+// String renders the tuple as a 0/1 string (for logs and persistence).
+func (t Tuple) String() string {
+	var b strings.Builder
+	for _, v := range t {
+		if v {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// ParseTuple inverts Tuple.String.
+func ParseTuple(s string) (Tuple, error) {
+	t := make(Tuple, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			t[i] = true
+		default:
+			return nil, fmt.Errorf("signature: invalid tuple character %q", s[i])
+		}
+	}
+	return t, nil
+}
+
+// Ones returns the number of violations in the tuple.
+func (t Tuple) Ones() int {
+	n := 0
+	for _, v := range t {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Measure selects the tuple-similarity function.
+type Measure int
+
+const (
+	// Jaccard similarity |a∧b| / |a∨b| — the default; it focuses on the
+	// violated coordinates, which carry the signal (most invariants hold
+	// under any single fault, so Hamming similarity is dominated by
+	// uninformative zeros).
+	Jaccard Measure = iota
+	// Hamming similarity: fraction of matching coordinates.
+	Hamming
+	// Cosine similarity of the tuples as 0/1 vectors.
+	Cosine
+)
+
+func (m Measure) String() string {
+	switch m {
+	case Jaccard:
+		return "jaccard"
+	case Hamming:
+		return "hamming"
+	case Cosine:
+		return "cosine"
+	default:
+		return fmt.Sprintf("measure(%d)", int(m))
+	}
+}
+
+// Similarity computes the chosen similarity of two equal-length tuples in
+// [0, 1]. Two all-zero tuples are fully similar under every measure.
+func Similarity(a, b Tuple, m Measure) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("signature: tuple lengths %d and %d differ", len(a), len(b))
+	}
+	var both, either, equal, onesA, onesB int
+	for i := range a {
+		switch {
+		case a[i] && b[i]:
+			both++
+			either++
+			equal++
+		case a[i] || b[i]:
+			either++
+		default:
+			equal++
+		}
+		if a[i] {
+			onesA++
+		}
+		if b[i] {
+			onesB++
+		}
+	}
+	switch m {
+	case Jaccard:
+		if either == 0 {
+			return 1, nil
+		}
+		return float64(both) / float64(either), nil
+	case Hamming:
+		if len(a) == 0 {
+			return 1, nil
+		}
+		return float64(equal) / float64(len(a)), nil
+	case Cosine:
+		if onesA == 0 || onesB == 0 {
+			if onesA == onesB {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return float64(both) / math.Sqrt(float64(onesA)*float64(onesB)), nil
+	default:
+		return 0, fmt.Errorf("signature: unknown measure %v", m)
+	}
+}
+
+// Entry is one stored signature: the paper's four-tuple.
+type Entry struct {
+	Tuple    Tuple
+	Problem  string // root-cause name, e.g. "cpu-hog"
+	IP       string // node the signature was collected on
+	Workload string // workload type of the operation context
+}
+
+// Match is a retrieved signature with its similarity score.
+type Match struct {
+	Entry
+	Score float64
+}
+
+// DB is the signature database. The zero value is ready to use.
+type DB struct {
+	entries []Entry
+	// MinScore is the minimum similarity for a match to be reported
+	// (default 0: report everything, ranked).
+	MinScore float64
+}
+
+// ErrEmpty is returned when matching against an empty database scope.
+var ErrEmpty = errors.New("signature: no signatures for context")
+
+// Add stores a signature. "As more performance problems are diagnosed, the
+// number of items in signature database increases gradually."
+func (db *DB) Add(e Entry) {
+	db.entries = append(db.entries, Entry{
+		Tuple:    append(Tuple(nil), e.Tuple...),
+		Problem:  e.Problem,
+		IP:       e.IP,
+		Workload: e.Workload,
+	})
+}
+
+// Len returns the number of stored signatures.
+func (db *DB) Len() int { return len(db.entries) }
+
+// Entries returns a copy of all stored signatures.
+func (db *DB) Entries() []Entry {
+	return append([]Entry(nil), db.entries...)
+}
+
+// Match retrieves the topK stored signatures most similar to tuple within
+// the operation context (ip, workload); empty ip or workload matches any
+// (the no-operation-context ablation passes both empty). Results are sorted
+// by descending score, ties broken by problem name for determinism.
+func (db *DB) Match(tuple Tuple, ip, workloadType string, measure Measure, topK int) ([]Match, error) {
+	var out []Match
+	scoped := 0
+	for _, e := range db.entries {
+		if ip != "" && e.IP != ip {
+			continue
+		}
+		if workloadType != "" && e.Workload != workloadType {
+			continue
+		}
+		scoped++
+		if len(e.Tuple) != len(tuple) {
+			// A stale signature from an older invariant set; skip rather
+			// than fail the whole diagnosis.
+			continue
+		}
+		s, err := Similarity(tuple, e.Tuple, measure)
+		if err != nil {
+			return nil, err
+		}
+		if s < db.MinScore {
+			continue
+		}
+		out = append(out, Match{Entry: e, Score: s})
+	}
+	if scoped == 0 {
+		return nil, ErrEmpty
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Problem < out[b].Problem
+	})
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out, nil
+}
+
+// BestProblem aggregates Match results into a ranked root-cause list: each
+// distinct problem keeps its best score. It returns problems sorted by
+// descending score ("a list of root causes which puts the most probable
+// causes in the top").
+func BestProblem(matches []Match) []Match {
+	best := make(map[string]Match)
+	for _, m := range matches {
+		if cur, ok := best[m.Problem]; !ok || m.Score > cur.Score {
+			best[m.Problem] = m
+		}
+	}
+	out := make([]Match, 0, len(best))
+	for _, m := range best {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Problem < out[b].Problem
+	})
+	return out
+}
+
+// Prune removes redundant signatures: within each (problem, ip, workload)
+// group, an entry whose similarity to an already-kept entry of the same
+// group meets or exceeds threshold under measure is dropped. It returns the
+// number of entries removed. Pruning keeps retrieval sharp as the database
+// grows ("the number of items in signature database increases gradually"):
+// near-duplicate signatures add matching cost without adding coverage.
+func (db *DB) Prune(measure Measure, threshold float64) (removed int, err error) {
+	type key struct{ problem, ip, workload string }
+	kept := make([]Entry, 0, len(db.entries))
+	byGroup := make(map[key][]Tuple)
+	for _, e := range db.entries {
+		k := key{e.Problem, e.IP, e.Workload}
+		dup := false
+		for _, prev := range byGroup[k] {
+			if len(prev) != len(e.Tuple) {
+				continue
+			}
+			s, serr := Similarity(prev, e.Tuple, measure)
+			if serr != nil {
+				return removed, serr
+			}
+			if s >= threshold {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			removed++
+			continue
+		}
+		byGroup[k] = append(byGroup[k], e.Tuple)
+		kept = append(kept, e)
+	}
+	db.entries = kept
+	return removed, nil
+}

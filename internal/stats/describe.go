@@ -1,0 +1,275 @@
+// Package stats provides the numeric substrate for InvarNet-X: descriptive
+// statistics, correlation measures, small dense linear algebra, polynomial
+// least squares and deterministic random-variate generation.
+//
+// Everything is implemented on float64 slices with no external dependencies.
+// Functions that cannot produce a meaningful answer for their input (empty
+// slices, mismatched lengths, singular systems) return an error rather than
+// NaN so that callers in the diagnosis pipeline fail loudly during training
+// instead of silently producing broken models.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when an input sample is empty.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// ErrLengthMismatch is returned when paired samples differ in length.
+var ErrLengthMismatch = errors.New("stats: sample length mismatch")
+
+// Sum returns the sum of xs. The sum of an empty slice is 0.
+func Sum(xs []float64) float64 {
+	// Kahan summation keeps long metric traces (tens of thousands of
+	// samples) accurate enough for variance computations downstream.
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	return Sum(xs) / float64(len(xs)), nil
+}
+
+// MustMean is Mean for callers that have already validated their input.
+// It panics on an empty sample.
+func MustMean(xs []float64) float64 {
+	m, err := Mean(xs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Variance returns the unbiased (n-1) sample variance of xs.
+// It needs at least two observations.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: variance needs >= 2 samples, got %d", len(xs))
+	}
+	m := MustMean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// PopVariance returns the population (n) variance of xs.
+func PopVariance(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := MustMean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)), nil
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Range returns Max(xs) - Min(xs). It is the stability criterion used by the
+// invariant-selection algorithm (Algorithm 1 of the paper):
+// an association pair is an invariant when the range of its MIC scores over
+// N training runs stays under the threshold tau.
+func Range(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi - lo, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks (the "exclusive" R-7 definition used
+// by most statistics packages). The paper uses the 95th percentile of CPI
+// samples as the sufficient statistic for one job run.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of range [0,100]", p)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) {
+	return Percentile(xs, 50)
+}
+
+// MeanAbs returns the mean of |x| over xs. Used for residual magnitudes.
+func MeanAbs(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Abs(x)
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Abs returns a new slice holding |x| for every x in xs.
+func Abs(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = math.Abs(x)
+	}
+	return out
+}
+
+// NormalizeToMin divides every element by the slice minimum, the
+// normalisation the paper applies to both execution time and 95th-percentile
+// CPI in Fig. 4 ("normalized to the minimum value"). The minimum must be
+// strictly positive.
+func NormalizeToMin(xs []float64) ([]float64, error) {
+	m, err := Min(xs)
+	if err != nil {
+		return nil, err
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("stats: cannot min-normalize with minimum %v", m)
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / m
+	}
+	return out, nil
+}
+
+// ZScore standardises xs to zero mean and unit variance. Constant series
+// (zero variance) are returned as all zeros.
+func ZScore(xs []float64) ([]float64, error) {
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("stats: zscore needs >= 2 samples, got %d", len(xs))
+	}
+	m := MustMean(xs)
+	sd, err := StdDev(xs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(xs))
+	if sd == 0 {
+		return out, nil
+	}
+	for i, x := range xs {
+		out[i] = (x - m) / sd
+	}
+	return out, nil
+}
+
+// Summary bundles the descriptive statistics reported throughout the
+// experiment harness.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+	P95    float64
+}
+
+// Describe computes a Summary of xs.
+func Describe(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(xs), Mean: MustMean(xs)}
+	if len(xs) >= 2 {
+		sd, err := StdDev(xs)
+		if err != nil {
+			return Summary{}, err
+		}
+		s.StdDev = sd
+	}
+	var err error
+	if s.Min, err = Min(xs); err != nil {
+		return Summary{}, err
+	}
+	if s.Max, err = Max(xs); err != nil {
+		return Summary{}, err
+	}
+	if s.Median, err = Median(xs); err != nil {
+		return Summary{}, err
+	}
+	if s.P95, err = Percentile(xs, 95); err != nil {
+		return Summary{}, err
+	}
+	return s, nil
+}

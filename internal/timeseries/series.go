@@ -1,0 +1,198 @@
+// Package timeseries provides the time-series representation shared by the
+// whole pipeline: uniformly sampled metric traces with a fixed collection
+// interval (10 s in the paper), plus the transformations the modelling
+// layers need — differencing and integration for ARIMA, windowing for
+// anomaly scoring, and equal-frequency binning support for MIC.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"invarnetx/internal/stats"
+)
+
+// DefaultInterval is the paper's metric collection interval.
+const DefaultInterval = 10 * time.Second
+
+// ErrEmpty is returned for operations on empty series.
+var ErrEmpty = errors.New("timeseries: empty series")
+
+// Series is a uniformly sampled time series. Start is the wall-clock time of
+// Values[0]; sample i was taken at Start + i*Interval.
+type Series struct {
+	Name     string
+	Start    time.Time
+	Interval time.Duration
+	Values   []float64
+}
+
+// New returns a Series with the default 10 s interval.
+func New(name string, values []float64) *Series {
+	return &Series{Name: name, Interval: DefaultInterval, Values: values}
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// At returns the timestamp of sample i.
+func (s *Series) At(i int) time.Time {
+	return s.Start.Add(time.Duration(i) * s.Interval)
+}
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	return &Series{
+		Name:     s.Name,
+		Start:    s.Start,
+		Interval: s.Interval,
+		Values:   append([]float64(nil), s.Values...),
+	}
+}
+
+// Slice returns a view of samples [lo, hi) as a new Series sharing no
+// storage with the receiver.
+func (s *Series) Slice(lo, hi int) (*Series, error) {
+	if lo < 0 || hi > len(s.Values) || lo > hi {
+		return nil, fmt.Errorf("timeseries: slice [%d,%d) out of range for %d samples", lo, hi, len(s.Values))
+	}
+	return &Series{
+		Name:     s.Name,
+		Start:    s.At(lo),
+		Interval: s.Interval,
+		Values:   append([]float64(nil), s.Values[lo:hi]...),
+	}, nil
+}
+
+// Append adds samples to the end of the series.
+func (s *Series) Append(values ...float64) {
+	s.Values = append(s.Values, values...)
+}
+
+// Last returns the most recent sample.
+func (s *Series) Last() (float64, error) {
+	if len(s.Values) == 0 {
+		return 0, ErrEmpty
+	}
+	return s.Values[len(s.Values)-1], nil
+}
+
+// Window returns the trailing n samples (fewer if the series is shorter).
+func (s *Series) Window(n int) []float64 {
+	if n >= len(s.Values) {
+		return s.Values
+	}
+	return s.Values[len(s.Values)-n:]
+}
+
+// Summary returns descriptive statistics of the series values.
+func (s *Series) Summary() (stats.Summary, error) {
+	return stats.Describe(s.Values)
+}
+
+// Difference returns the d-th order difference of xs:
+// diff^1(x)[t] = x[t] - x[t-1], applied d times. The result has
+// len(xs) - d samples. Differencing is the "I" in ARIMA.
+func Difference(xs []float64, d int) ([]float64, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("timeseries: negative differencing order %d", d)
+	}
+	if len(xs) <= d {
+		return nil, fmt.Errorf("timeseries: cannot difference %d samples %d times", len(xs), d)
+	}
+	cur := append([]float64(nil), xs...)
+	for i := 0; i < d; i++ {
+		next := make([]float64, len(cur)-1)
+		for t := 1; t < len(cur); t++ {
+			next[t-1] = cur[t] - cur[t-1]
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Integrate inverts Difference: given the d-th order differenced series and
+// the d seed values that were consumed (seeds[i] is the last value of the
+// (i)-th order differenced original series before the forecast region, with
+// seeds[0] the last original-scale value), it reconstructs the original
+// scale. It is used to map ARIMA forecasts of a differenced series back to
+// CPI units.
+//
+// For d==1: out[t] = seeds[0] + sum(diffed[0..t]).
+func Integrate(diffed []float64, seeds []float64) ([]float64, error) {
+	d := len(seeds)
+	cur := append([]float64(nil), diffed...)
+	for level := d - 1; level >= 0; level-- {
+		prev := seeds[level]
+		for t := range cur {
+			prev += cur[t]
+			cur[t] = prev
+		}
+	}
+	return cur, nil
+}
+
+// DifferenceSeeds returns the seed values needed by Integrate to undo a
+// d-th order difference of xs starting right after the end of xs:
+// seeds[level] is the final value of the level-th order difference of xs.
+func DifferenceSeeds(xs []float64, d int) ([]float64, error) {
+	if len(xs) <= d {
+		return nil, fmt.Errorf("timeseries: %d samples too short for order %d", len(xs), d)
+	}
+	seeds := make([]float64, d)
+	cur := append([]float64(nil), xs...)
+	for level := 0; level < d; level++ {
+		seeds[level] = cur[len(cur)-1]
+		next := make([]float64, len(cur)-1)
+		for t := 1; t < len(cur); t++ {
+			next[t-1] = cur[t] - cur[t-1]
+		}
+		cur = next
+	}
+	return seeds, nil
+}
+
+// Align truncates a set of series to their common length (from the front),
+// returning the aligned value slices. Metric collectors can drop samples at
+// job edges; the invariant layer needs rectangular data.
+func Align(series ...*Series) ([][]float64, error) {
+	if len(series) == 0 {
+		return nil, ErrEmpty
+	}
+	minLen := series[0].Len()
+	for _, s := range series[1:] {
+		if s.Len() < minLen {
+			minLen = s.Len()
+		}
+	}
+	if minLen == 0 {
+		return nil, ErrEmpty
+	}
+	out := make([][]float64, len(series))
+	for i, s := range series {
+		out[i] = s.Values[:minLen]
+	}
+	return out, nil
+}
+
+// MovingAverage returns the centred-nothing trailing moving average of xs
+// with the given window (the first window-1 outputs average the available
+// prefix). Used only for presentation smoothing in the experiment harness.
+func MovingAverage(xs []float64, window int) ([]float64, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("timeseries: non-positive window %d", window)
+	}
+	out := make([]float64, len(xs))
+	var sum float64
+	for i, x := range xs {
+		sum += x
+		if i >= window {
+			sum -= xs[i-window]
+			out[i] = sum / float64(window)
+		} else {
+			out[i] = sum / float64(i+1)
+		}
+	}
+	return out, nil
+}

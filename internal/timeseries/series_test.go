@@ -1,0 +1,238 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := New("cpu", []float64{1, 2, 3})
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Interval != DefaultInterval {
+		t.Errorf("Interval = %v", s.Interval)
+	}
+	last, err := s.Last()
+	if err != nil || last != 3 {
+		t.Errorf("Last = %v, %v", last, err)
+	}
+	s.Append(4, 5)
+	if s.Len() != 5 {
+		t.Errorf("Len after append = %d", s.Len())
+	}
+	if _, err := (&Series{}).Last(); err != ErrEmpty {
+		t.Errorf("Last on empty err = %v", err)
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	start := time.Date(2014, 9, 1, 0, 0, 0, 0, time.UTC)
+	s := &Series{Start: start, Interval: 10 * time.Second, Values: []float64{0, 0, 0}}
+	if got := s.At(2); !got.Equal(start.Add(20 * time.Second)) {
+		t.Errorf("At(2) = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New("m", []float64{1, 2})
+	c := s.Clone()
+	c.Values[0] = 99
+	if s.Values[0] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := New("m", []float64{0, 1, 2, 3, 4})
+	sub, err := s.Slice(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 3 || sub.Values[0] != 1 || sub.Values[2] != 3 {
+		t.Errorf("Slice = %v", sub.Values)
+	}
+	if !sub.Start.Equal(s.At(1)) {
+		t.Errorf("Slice start = %v, want %v", sub.Start, s.At(1))
+	}
+	if _, err := s.Slice(3, 2); err == nil {
+		t.Error("inverted slice should error")
+	}
+	if _, err := s.Slice(0, 6); err == nil {
+		t.Error("out-of-range slice should error")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s := New("m", []float64{1, 2, 3, 4})
+	w := s.Window(2)
+	if len(w) != 2 || w[0] != 3 || w[1] != 4 {
+		t.Errorf("Window(2) = %v", w)
+	}
+	if len(s.Window(10)) != 4 {
+		t.Error("oversized window should return everything")
+	}
+}
+
+func TestDifference(t *testing.T) {
+	xs := []float64{1, 4, 9, 16, 25}
+	d1, err := Difference(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1 := []float64{3, 5, 7, 9}
+	for i := range want1 {
+		if d1[i] != want1[i] {
+			t.Errorf("d1[%d] = %v, want %v", i, d1[i], want1[i])
+		}
+	}
+	d2, err := Difference(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d2 {
+		if v != 2 {
+			t.Errorf("second difference of squares = %v, want all 2s", d2)
+			break
+		}
+	}
+	d0, err := Difference(xs, 0)
+	if err != nil || len(d0) != len(xs) {
+		t.Errorf("Difference(_,0) = %v, %v", d0, err)
+	}
+	if _, err := Difference([]float64{1}, 1); err == nil {
+		t.Error("too-short series should error")
+	}
+	if _, err := Difference(xs, -1); err == nil {
+		t.Error("negative order should error")
+	}
+}
+
+func TestDifferenceDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 3, 1}
+	if _, err := Difference(xs, 1); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 3 || xs[2] != 1 {
+		t.Error("Difference mutated input")
+	}
+}
+
+func TestIntegrateInvertsDifferenceOrder1(t *testing.T) {
+	xs := []float64{2, 5, 4, 8, 7, 10}
+	// Split: history = first 3, future = last 3.
+	hist, future := xs[:3], xs[3:]
+	seeds, err := DifferenceSeeds(hist, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Difference the full series and take the future part.
+	dAll, _ := Difference(xs, 1)
+	dFuture := dAll[len(hist)-1:]
+	got, err := Integrate(dFuture, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range future {
+		if math.Abs(got[i]-future[i]) > 1e-12 {
+			t.Errorf("Integrate[%d] = %v, want %v", i, got[i], future[i])
+		}
+	}
+}
+
+func TestIntegrateInvertsDifferenceOrder2(t *testing.T) {
+	xs := []float64{1, 3, 7, 13, 21, 31, 43}
+	hist, future := xs[:4], xs[4:]
+	seeds, err := DifferenceSeeds(hist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dAll, _ := Difference(xs, 2)
+	dFuture := dAll[len(hist)-2:]
+	got, err := Integrate(dFuture, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range future {
+		if math.Abs(got[i]-future[i]) > 1e-9 {
+			t.Errorf("Integrate[%d] = %v, want %v", i, got[i], future[i])
+		}
+	}
+}
+
+func TestAlign(t *testing.T) {
+	a := New("a", []float64{1, 2, 3, 4})
+	b := New("b", []float64{5, 6, 7})
+	rows, err := Align(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows[0]) != 3 || len(rows[1]) != 3 {
+		t.Errorf("Align lengths = %d, %d", len(rows[0]), len(rows[1]))
+	}
+	if _, err := Align(); err != ErrEmpty {
+		t.Errorf("Align() err = %v", err)
+	}
+	if _, err := Align(a, New("c", nil)); err != ErrEmpty {
+		t.Errorf("Align with empty err = %v", err)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	out, err := MovingAverage([]float64{1, 2, 3, 4, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1.5, 2.5, 3.5, 4.5}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Errorf("ma[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if _, err := MovingAverage(nil, 0); err == nil {
+		t.Error("zero window should error")
+	}
+}
+
+// Property: Integrate(Difference(x, d), seeds(x, d)) == x's continuation.
+// Applied here in self-inverse form on the whole series: differencing then
+// integrating with the right seeds over the same span reproduces the tail.
+func TestDifferenceIntegrateRoundTripProperty(t *testing.T) {
+	f := func(raw []float64, dRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		d := int(dRaw%2) + 1 // order 1 or 2
+		if len(xs) < d+3 {
+			return true
+		}
+		split := d + 1
+		hist := xs[:split]
+		seeds, err := DifferenceSeeds(hist, d)
+		if err != nil {
+			return false
+		}
+		dAll, err := Difference(xs, d)
+		if err != nil {
+			return false
+		}
+		got, err := Integrate(dAll[split-d:], seeds)
+		if err != nil {
+			return false
+		}
+		for i, want := range xs[split:] {
+			if math.Abs(got[i]-want) > 1e-6*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package xmlstore persists InvarNet-X artefacts in the XML formats the
+// paper describes:
+//
+//   - the ARIMA performance model as the five-tuple (p, d, q, ip, type)
+//     (§3.2) — extended with the fitted coefficients and thresholds so a
+//     stored model is actually usable after reload;
+//   - the invariant set as the three-tuple (I, ip, type) with I in matrix
+//     (pair-list) format (§3.3);
+//   - each problem signature as the four-tuple (binary tuple, problem
+//     name, ip, workload type) (§3.3).
+package xmlstore
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+
+	"invarnetx/internal/arima"
+	"invarnetx/internal/detect"
+	"invarnetx/internal/invariant"
+	"invarnetx/internal/signature"
+)
+
+// ModelFile is the persisted performance model: the paper's five-tuple plus
+// everything needed to resume online detection.
+type ModelFile struct {
+	XMLName xml.Name `xml:"performance-model"`
+	P       int      `xml:"p"`
+	D       int      `xml:"d"`
+	Q       int      `xml:"q"`
+	IP      string   `xml:"ip"`
+	Type    string   `xml:"type"`
+
+	AR          []float64 `xml:"ar>coeff"`
+	MA          []float64 `xml:"ma>coeff"`
+	Intercept   float64   `xml:"intercept"`
+	Sigma2      float64   `xml:"sigma2"`
+	Rule        string    `xml:"threshold>rule"`
+	Upper       float64   `xml:"threshold>upper"`
+	Lower       float64   `xml:"threshold>lower"`
+	Consecutive int       `xml:"threshold>consecutive"`
+}
+
+// EncodeModel converts a trained detector into its persistable form.
+func EncodeModel(d *detect.Detector, ip, workloadType string) ModelFile {
+	return ModelFile{
+		P: d.Model.Order.P, D: d.Model.Order.D, Q: d.Model.Order.Q,
+		IP: ip, Type: workloadType,
+		AR: d.Model.AR, MA: d.Model.MA,
+		Intercept: d.Model.Intercept, Sigma2: d.Model.Sigma2,
+		Rule: d.Rule.String(), Upper: d.Upper, Lower: d.Lower,
+		Consecutive: d.Consecutive,
+	}
+}
+
+// Decode rebuilds the detector from its persisted form.
+func (f ModelFile) Decode() (*detect.Detector, error) {
+	var rule detect.Rule
+	switch f.Rule {
+	case detect.BetaMax.String():
+		rule = detect.BetaMax
+	case detect.MaxMin.String():
+		rule = detect.MaxMin
+	case detect.P95.String():
+		rule = detect.P95
+	default:
+		return nil, fmt.Errorf("xmlstore: unknown threshold rule %q", f.Rule)
+	}
+	if f.P < 0 || f.D < 0 || f.Q < 0 {
+		return nil, fmt.Errorf("xmlstore: invalid order (%d,%d,%d)", f.P, f.D, f.Q)
+	}
+	if len(f.AR) != f.P || len(f.MA) != f.Q {
+		return nil, fmt.Errorf("xmlstore: coefficient counts (%d,%d) disagree with order (%d,%d)", len(f.AR), len(f.MA), f.P, f.Q)
+	}
+	return &detect.Detector{
+		Model: &arima.Model{
+			Order:     arima.Order{P: f.P, D: f.D, Q: f.Q},
+			AR:        f.AR,
+			MA:        f.MA,
+			Intercept: f.Intercept,
+			Sigma2:    f.Sigma2,
+		},
+		Rule:        rule,
+		Upper:       f.Upper,
+		Lower:       f.Lower,
+		Consecutive: f.Consecutive,
+	}, nil
+}
+
+// invariantPair is one invariant entry within InvariantFile.
+type invariantPair struct {
+	I     int     `xml:"i,attr"`
+	J     int     `xml:"j,attr"`
+	Value float64 `xml:"value,attr"`
+}
+
+// InvariantFile is the persisted invariant set: the paper's three-tuple
+// (I, ip, type).
+type InvariantFile struct {
+	XMLName xml.Name        `xml:"invariants"`
+	IP      string          `xml:"ip"`
+	Type    string          `xml:"type"`
+	Metrics int             `xml:"metrics"`
+	Pairs   []invariantPair `xml:"matrix>pair"`
+}
+
+// EncodeInvariants converts an invariant set into its persistable form.
+func EncodeInvariants(s *invariant.Set, ip, workloadType string) InvariantFile {
+	f := InvariantFile{IP: ip, Type: workloadType, Metrics: s.M}
+	for _, p := range s.SortedPairs() {
+		f.Pairs = append(f.Pairs, invariantPair{I: p.I, J: p.J, Value: s.Base[p]})
+	}
+	return f
+}
+
+// Decode rebuilds the invariant set.
+func (f InvariantFile) Decode() (*invariant.Set, error) {
+	if f.Metrics < 2 {
+		return nil, fmt.Errorf("xmlstore: invariant file with %d metrics", f.Metrics)
+	}
+	base := make(map[invariant.Pair]float64, len(f.Pairs))
+	for _, p := range f.Pairs {
+		if p.I < 0 || p.J < 0 || p.I >= f.Metrics || p.J >= f.Metrics || p.I == p.J {
+			return nil, fmt.Errorf("xmlstore: invalid invariant pair (%d,%d)", p.I, p.J)
+		}
+		base[invariant.Pair{I: p.I, J: p.J}] = p.Value
+	}
+	return invariant.NewSet(f.Metrics, base), nil
+}
+
+// SignatureEntry is the paper's four-tuple.
+type SignatureEntry struct {
+	Tuple   string `xml:"tuple"`
+	Problem string `xml:"problem"`
+	IP      string `xml:"ip"`
+	Type    string `xml:"type"`
+}
+
+// SignatureFile is the persisted signature database.
+type SignatureFile struct {
+	XMLName xml.Name         `xml:"signature-database"`
+	Entries []SignatureEntry `xml:"signature"`
+}
+
+// EncodeSignatures converts a signature database into its persistable form.
+func EncodeSignatures(db *signature.DB) SignatureFile {
+	var f SignatureFile
+	for _, e := range db.Entries() {
+		f.Entries = append(f.Entries, SignatureEntry{
+			Tuple: e.Tuple.String(), Problem: e.Problem, IP: e.IP, Type: e.Workload,
+		})
+	}
+	return f
+}
+
+// Decode rebuilds the signature database.
+func (f SignatureFile) Decode() (*signature.DB, error) {
+	var db signature.DB
+	for i, e := range f.Entries {
+		t, err := signature.ParseTuple(e.Tuple)
+		if err != nil {
+			return nil, fmt.Errorf("xmlstore: signature %d: %w", i, err)
+		}
+		db.Add(signature.Entry{Tuple: t, Problem: e.Problem, IP: e.IP, Workload: e.Type})
+	}
+	return &db, nil
+}
+
+// Save writes v as indented XML with a header.
+func Save(w io.Writer, v any) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Load parses XML from r into v.
+func Load(r io.Reader, v any) error {
+	return xml.NewDecoder(r).Decode(v)
+}
+
+// SaveFile writes v as XML to path (0644, truncating).
+func SaveFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, v); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile parses the XML file at path into v.
+func LoadFile(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Load(f, v)
+}

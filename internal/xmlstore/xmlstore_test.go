@@ -1,0 +1,265 @@
+package xmlstore
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"invarnetx/internal/arima"
+	"invarnetx/internal/detect"
+	"invarnetx/internal/invariant"
+	"invarnetx/internal/signature"
+	"invarnetx/internal/stats"
+)
+
+func sampleDetector() *detect.Detector {
+	return &detect.Detector{
+		Model: &arima.Model{
+			Order:     arima.Order{P: 2, D: 1, Q: 1},
+			AR:        []float64{0.5, -0.2},
+			MA:        []float64{0.3},
+			Intercept: 0.01,
+			Sigma2:    0.0004,
+		},
+		Rule:        detect.BetaMax,
+		Upper:       0.12,
+		Lower:       0.001,
+		Consecutive: 3,
+	}
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	d := sampleDetector()
+	f := EncodeModel(d, "10.0.0.2", "wordcount")
+	var buf bytes.Buffer
+	if err := Save(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<performance-model>") {
+		t.Errorf("missing root element:\n%s", buf.String())
+	}
+	var back ModelFile
+	if err := Load(&buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.IP != "10.0.0.2" || back.Type != "wordcount" {
+		t.Errorf("context lost: %+v", back)
+	}
+	d2, err := back.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Model.Order != d.Model.Order {
+		t.Errorf("order = %v, want %v", d2.Model.Order, d.Model.Order)
+	}
+	if math.Abs(d2.Model.AR[0]-0.5) > 1e-12 || math.Abs(d2.Model.MA[0]-0.3) > 1e-12 {
+		t.Errorf("coefficients lost: %+v", d2.Model)
+	}
+	if d2.Rule != detect.BetaMax || d2.Upper != 0.12 || d2.Consecutive != 3 {
+		t.Errorf("thresholds lost: %+v", d2)
+	}
+}
+
+func TestModelDecodeValidation(t *testing.T) {
+	f := EncodeModel(sampleDetector(), "x", "y")
+	f.Rule = "nosuch"
+	if _, err := f.Decode(); err == nil {
+		t.Error("unknown rule should fail decode")
+	}
+	f = EncodeModel(sampleDetector(), "x", "y")
+	f.AR = f.AR[:1] // inconsistent with P=2
+	if _, err := f.Decode(); err == nil {
+		t.Error("coefficient/order mismatch should fail decode")
+	}
+	f = EncodeModel(sampleDetector(), "x", "y")
+	f.P = -1
+	if _, err := f.Decode(); err == nil {
+		t.Error("negative order should fail decode")
+	}
+}
+
+func TestInvariantRoundTrip(t *testing.T) {
+	s := invariant.NewSet(5, map[invariant.Pair]float64{
+		{I: 0, J: 1}: 0.91,
+		{I: 2, J: 4}: 0.55,
+	})
+	f := EncodeInvariants(s, "10.0.0.3", "sort")
+	var buf bytes.Buffer
+	if err := Save(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	var back InvariantFile
+	if err := Load(&buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := back.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.M != 5 || s2.Len() != 2 {
+		t.Fatalf("decoded set: M=%d len=%d", s2.M, s2.Len())
+	}
+	if s2.Base[invariant.Pair{I: 0, J: 1}] != 0.91 {
+		t.Errorf("baseline lost: %v", s2.Base)
+	}
+}
+
+func TestInvariantDecodeValidation(t *testing.T) {
+	f := InvariantFile{Metrics: 1}
+	if _, err := f.Decode(); err == nil {
+		t.Error("too few metrics should fail")
+	}
+	f = InvariantFile{Metrics: 3, Pairs: []invariantPair{{I: 0, J: 3, Value: 0.5}}}
+	if _, err := f.Decode(); err == nil {
+		t.Error("out-of-range pair should fail")
+	}
+	f = InvariantFile{Metrics: 3, Pairs: []invariantPair{{I: 1, J: 1, Value: 0.5}}}
+	if _, err := f.Decode(); err == nil {
+		t.Error("diagonal pair should fail")
+	}
+}
+
+func TestSignatureRoundTrip(t *testing.T) {
+	var db signature.DB
+	tu, _ := signature.ParseTuple("01101")
+	db.Add(signature.Entry{Tuple: tu, Problem: "cpu-hog", IP: "10.0.0.2", Workload: "wordcount"})
+	tu2, _ := signature.ParseTuple("11000")
+	db.Add(signature.Entry{Tuple: tu2, Problem: "mem-hog", IP: "10.0.0.2", Workload: "wordcount"})
+
+	f := EncodeSignatures(&db)
+	var buf bytes.Buffer
+	if err := Save(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	var back SignatureFile
+	if err := Load(&buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := back.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != 2 {
+		t.Fatalf("decoded %d signatures", db2.Len())
+	}
+	es := db2.Entries()
+	if es[0].Problem != "cpu-hog" || es[0].Tuple.String() != "01101" {
+		t.Errorf("entry 0 = %+v", es[0])
+	}
+}
+
+func TestSignatureDecodeValidation(t *testing.T) {
+	f := SignatureFile{Entries: []SignatureEntry{{Tuple: "01x", Problem: "p", IP: "i", Type: "t"}}}
+	if _, err := f.Decode(); err == nil {
+		t.Error("invalid tuple should fail decode")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.xml")
+	f := EncodeModel(sampleDetector(), "10.0.0.4", "grep")
+	if err := SaveFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	var back ModelFile
+	if err := LoadFile(path, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.IP != "10.0.0.4" || back.Type != "grep" {
+		t.Errorf("file round trip lost context: %+v", back)
+	}
+	if err := LoadFile(filepath.Join(dir, "missing.xml"), &back); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+// Property: any invariant set round-trips through the XML form unchanged.
+func TestInvariantRoundTripProperty(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		m := 2 + int(mRaw%10)
+		base := make(map[invariant.Pair]float64)
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				if rng.Bernoulli(0.4) {
+					base[invariant.Pair{I: i, J: j}] = rng.Float64()
+				}
+			}
+		}
+		set := invariant.NewSet(m, base)
+		var buf bytes.Buffer
+		if err := Save(&buf, EncodeInvariants(set, "ip", "wl")); err != nil {
+			return false
+		}
+		var back InvariantFile
+		if err := Load(&buf, &back); err != nil {
+			return false
+		}
+		got, err := back.Decode()
+		if err != nil {
+			return false
+		}
+		if got.M != set.M || got.Len() != set.Len() {
+			return false
+		}
+		for p, v := range set.Base {
+			if got.Base[p] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any signature database round-trips through the XML form.
+func TestSignatureRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		var db signature.DB
+		n := int(nRaw % 12)
+		for i := 0; i < n; i++ {
+			tu := make(signature.Tuple, 5+rng.Intn(10))
+			for k := range tu {
+				tu[k] = rng.Bernoulli(0.3)
+			}
+			db.Add(signature.Entry{
+				Tuple:    tu,
+				Problem:  string(rune('a' + i%4)),
+				IP:       "10.0.0.2",
+				Workload: "wordcount",
+			})
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, EncodeSignatures(&db)); err != nil {
+			return false
+		}
+		var back SignatureFile
+		if err := Load(&buf, &back); err != nil {
+			return false
+		}
+		got, err := back.Decode()
+		if err != nil {
+			return false
+		}
+		if got.Len() != db.Len() {
+			return false
+		}
+		want := db.Entries()
+		for i, e := range got.Entries() {
+			if e.Problem != want[i].Problem || e.Tuple.String() != want[i].Tuple.String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

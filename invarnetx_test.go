@@ -1,0 +1,187 @@
+package invarnetx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicAPISurface(t *testing.T) {
+	if len(MetricNames()) != 26 {
+		t.Errorf("metrics = %d, want 26", len(MetricNames()))
+	}
+	if len(FaultKinds()) != 15 {
+		t.Errorf("faults = %d, want 15", len(FaultKinds()))
+	}
+	cfg := DefaultConfig()
+	if cfg.Epsilon != 0.2 || cfg.Tau != 0.2 {
+		t.Errorf("paper thresholds: eps=%v tau=%v", cfg.Epsilon, cfg.Tau)
+	}
+	if !cfg.UseContext {
+		t.Error("operation context must default on")
+	}
+	sys := New(cfg)
+	if sys == nil || sys.SignatureCount() != 0 {
+		t.Error("fresh system should be empty")
+	}
+}
+
+func TestPublicMIC(t *testing.T) {
+	rng := NewRNG(1)
+	n := 200
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = xs[i] * xs[i]
+	}
+	if s := MIC(xs, ys); s < 0.9 {
+		t.Errorf("MIC(parabola) = %v", s)
+	}
+	res, err := ComputeMIC(xs, ys, MICConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MIC < 0.9 || res.N != n {
+		t.Errorf("ComputeMIC = %+v", res)
+	}
+	if s := ARXAssociation(xs, ys); s < 0 || s > 1 {
+		t.Errorf("ARXAssociation out of bounds: %v", s)
+	}
+}
+
+func TestPublicARIMA(t *testing.T) {
+	rng := NewRNG(2)
+	xs := make([]float64, 500)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.6*xs[i-1] + rng.Normal(0, 1)
+	}
+	m, err := FitARIMA(xs, ARIMAOrder{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.AR[0]-0.6) > 0.15 {
+		t.Errorf("AR[0] = %v", m.AR[0])
+	}
+	auto, err := AutoFitARIMA(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Order.P < 1 {
+		t.Errorf("AutoFit order = %v", auto.Order)
+	}
+}
+
+func TestPublicClusterWorkflow(t *testing.T) {
+	c := NewCluster(4, 7)
+	if len(c.Slaves()) != 4 {
+		t.Fatalf("slaves = %d", len(c.Slaves()))
+	}
+	spec := NewBatchJob(Grep, WorkloadParams{InputMB: 2048, RNG: NewRNG(8)})
+	j := c.Submit(spec)
+	rng := NewRNG(9)
+	col := NewMetricsCollector(rng.Fork(1))
+	smp := NewCPISampler(rng.Fork(2))
+	tr := NewMetricsTrace(c.Slaves()[0].IP, "grep")
+	err := c.RunUntilDone(j, 2000, func(tick int) {
+		if err := tr.Add(col.Collect(c.Slaves()[0]), smp.Sample(c.Slaves()[0], "grep")); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() < 5 {
+		t.Errorf("trace len = %d", tr.Len())
+	}
+	p95, err := CPIRunStatistic(tr.CPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p95 <= 0 {
+		t.Errorf("p95 CPI = %v", p95)
+	}
+}
+
+func TestPublicFaultInjection(t *testing.T) {
+	inj, err := NewFault("cpu-hog", FaultWindow{Start: 0, End: 100}, NewRNG(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewHeterogeneousCluster(2, 11)
+	c.Slaves()[0].Attach(inj)
+	c.Step()
+	if c.Slaves()[0].State.CPUSat == 0 {
+		t.Error("cpu-hog produced no saturation")
+	}
+	if _, err := NewFault("nosuch", FaultWindow{}, NewRNG(12)); err == nil {
+		t.Error("unknown fault should error")
+	}
+}
+
+func TestPublicEndToEndDiagnosis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline")
+	}
+	opts := DefaultExperimentOptions()
+	opts.TrainRuns = 4
+	opts.InputMB = 6 * 1024
+	runner := NewExperimentRunner(opts)
+	sys, _, err := runner.TrainSystem(Wordcount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record and rediagnose a memory hog.
+	for i := 0; i < 2; i++ {
+		res, err := runner.Run(Wordcount, "mem-hog", 100000+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		win, err := res.TargetTrace().Slice(res.Window.Start, minInt(res.Window.End, res.TargetTrace().Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := Context{Workload: "wordcount", IP: res.TargetIP}
+		if err := sys.BuildSignature(ctx, "mem-hog", win); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := runner.Run(Wordcount, "mem-hog", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.TargetTrace()
+	ctx := Context{Workload: "wordcount", IP: res.TargetIP}
+	mon, err := sys.NewMonitor(ctx, tr.CPI[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	alert := -1
+	for i := 6; i < tr.Len(); i++ {
+		mon.Offer(tr.CPI[i])
+		if mon.Alert() {
+			alert = i
+			break
+		}
+	}
+	if alert < 0 {
+		t.Fatal("mem-hog not detected")
+	}
+	win, err := tr.Slice(alert-2, minInt(alert-2+30, tr.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := sys.Diagnose(ctx, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.RootCause() != "mem-hog" {
+		t.Errorf("diagnosed %q, want mem-hog (causes: %v)", diag.RootCause(), diag.Causes)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
