@@ -1,0 +1,28 @@
+# Verification tiers.
+#
+#   make test   — tier 1: build everything, run the full unit suite
+#   make race   — tier 2: vet + the full suite under the race detector
+#   make check  — both tiers
+#
+# The race tier exists because the robustness layer is concurrent by
+# design (supervised monitor goroutines, parallel association workers,
+# concurrent SaveTo): a data race there is a correctness bug, not a
+# performance detail.
+
+GO ?= go
+
+.PHONY: build test vet race check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race: vet
+	$(GO) test -race ./...
+
+check: test race

@@ -20,6 +20,8 @@ import (
 	"invarnetx/internal/core"
 	"invarnetx/internal/experiments"
 	"invarnetx/internal/faults"
+	"invarnetx/internal/stats"
+	"invarnetx/internal/telemetry"
 	"invarnetx/internal/workload"
 )
 
@@ -79,6 +81,19 @@ func runner(seed int64) *experiments.Runner {
 	opts := experiments.DefaultOptions()
 	opts.Seed = seed
 	return experiments.NewRunner(opts)
+}
+
+// loadModels restores persisted artefacts, surfacing (but not failing on)
+// files the crash-safe loader had to skip.
+func loadModels(sys *core.System, dir string) error {
+	rep, err := sys.LoadFrom(dir)
+	if err != nil {
+		return err
+	}
+	if rep.Partial() {
+		fmt.Fprintf(os.Stderr, "warning: partial model store: %s\n", rep)
+	}
+	return nil
 }
 
 func parseWorkload(s string) (workload.Type, error) {
@@ -163,7 +178,7 @@ func cmdSignatures(args []string) error {
 	}
 	r := runner(*seed)
 	sys := core.New(r.Options().Config)
-	if err := sys.LoadFrom(*models); err != nil {
+	if err := loadModels(sys, *models); err != nil {
 		return fmt.Errorf("loading models (run `invarctl train` first): %w", err)
 	}
 	opts := r.Options()
@@ -196,6 +211,8 @@ func cmdDiagnose(args []string) error {
 	w, seed, models := common(fs)
 	fault := fs.String("fault", "cpu-hog", "fault kind to inject (see `invarctl faults`)")
 	idx := fs.Int("run", 0, "run index (varies the injected instance)")
+	tfSpec := fs.String("telemetry-faults", "",
+		"degrade the telemetry before diagnosis, e.g. drop=0.2,outage=10.0.0.3:10-40,policy=mask")
 	fs.Parse(args)
 	t, err := parseWorkload(*w)
 	if err != nil {
@@ -207,7 +224,7 @@ func cmdDiagnose(args []string) error {
 	}
 	r := runner(*seed)
 	sys := core.New(r.Options().Config)
-	if err := sys.LoadFrom(*models); err != nil {
+	if err := loadModels(sys, *models); err != nil {
 		return fmt.Errorf("loading models (run `invarctl train` and `invarctl signatures` first): %w", err)
 	}
 
@@ -220,14 +237,33 @@ func cmdDiagnose(args []string) error {
 	fmt.Printf("injected %s on %s during ticks %d-%d (job took %d ticks)\n",
 		kind, res.TargetIP, res.Window.Start, res.Window.End, res.DurationTicks)
 
+	// The online stream the monitor sees; identical to the trace CPI unless
+	// telemetry faults are injected.
+	liveCPI := tr.CPI
+	if *tfSpec != "" {
+		tcfg, err := telemetry.ParseFaultSpec(*tfSpec)
+		if err != nil {
+			return err
+		}
+		col := telemetry.New(tcfg, stats.NewRNG(*seed))
+		deg, live, err := col.Degrade(tr)
+		if err != nil {
+			return err
+		}
+		tr, liveCPI = deg, live
+		h := col.Health(res.TargetIP)
+		fmt.Printf("telemetry: node %s %s — %.0f%% of samples genuine (%d dropped, %d recovered via %d retries, %d corrupt, %d outage ticks)\n",
+			res.TargetIP, h.Status, 100*tr.ValidFraction(), h.Dropped, h.Recovered, h.Retries, h.Corrupt, h.OutageTicks)
+	}
+
 	const warmup = 6
-	mon, err := sys.NewMonitor(ctx, tr.CPI[:warmup])
+	mon, err := sys.NewMonitor(ctx, liveCPI[:warmup])
 	if err != nil {
 		return err
 	}
 	alert := -1
-	for i := warmup; i < tr.Len(); i++ {
-		mon.Offer(tr.CPI[i])
+	for i := warmup; i < len(liveCPI); i++ {
+		mon.Offer(liveCPI[i])
 		if mon.Alert() {
 			alert = i
 			break
@@ -248,6 +284,10 @@ func cmdDiagnose(args []string) error {
 		return err
 	}
 	fmt.Printf("violation tuple: %d of %d invariants violated\n", diag.Tuple.Ones(), len(diag.Tuple))
+	if diag.Coverage < 1 {
+		fmt.Printf("degraded diagnosis: %d invariants unknown (coverage %.0f%%, confidence %.2f)\n",
+			len(diag.Unknown), 100*diag.Coverage, diag.Confidence)
+	}
 	if len(diag.Causes) == 0 {
 		fmt.Println("no similar signature found; hints (violated associations):")
 		for i, h := range diag.Hints {
@@ -277,7 +317,7 @@ func cmdAudit(args []string) error {
 	fs.Parse(args)
 	r := runner(1)
 	sys := core.New(r.Options().Config)
-	if err := sys.LoadFrom(*models); err != nil {
+	if err := loadModels(sys, *models); err != nil {
 		return fmt.Errorf("loading models: %w", err)
 	}
 	db := sys.SignatureDB()

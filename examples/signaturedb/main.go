@@ -75,8 +75,12 @@ func main() {
 	// A fresh process: load and diagnose.
 	fmt.Println("\nreloading into a fresh system ...")
 	fresh := invarnetx.New(invarnetx.DefaultConfig())
-	if err := fresh.LoadFrom(dir); err != nil {
+	rep, err := fresh.LoadFrom(dir)
+	if err != nil {
 		log.Fatal(err)
+	}
+	if rep.Partial() {
+		log.Printf("warning: %s", rep)
 	}
 	fmt.Printf("  %d signatures restored\n", fresh.SignatureCount())
 

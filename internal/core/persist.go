@@ -20,12 +20,52 @@ import (
 // mirrors that and makes the offline training results reusable across
 // process restarts.
 
-// ctxFileToken encodes a context field for use in a file name.
+// ctxFileToken encodes a context field for use in a file name. Characters
+// that are path separators or glob metacharacters on any supported
+// platform ('/', '\', '*', '?', ':') — plus '%' itself — are
+// percent-escaped, so a hostile or merely unusual workload name cannot
+// escape the store directory or collide with shell expansion. The empty
+// field encodes as "global" (the no-context profile).
 func ctxFileToken(s string) string {
 	if s == "" {
 		return "global"
 	}
-	return strings.ReplaceAll(s, string(os.PathSeparator), "_")
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '%', '*', '?', '/', '\\', ':':
+			fmt.Fprintf(&b, "%%%02X", c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// decodeCtxFileToken inverts ctxFileToken.
+func decodeCtxFileToken(tok string) (string, error) {
+	if tok == "global" {
+		return "", nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+2 >= len(tok) {
+			return "", fmt.Errorf("core: truncated escape in token %q", tok)
+		}
+		var v byte
+		if _, err := fmt.Sscanf(tok[i+1:i+3], "%02X", &v); err != nil {
+			return "", fmt.Errorf("core: bad escape in token %q: %w", tok, err)
+		}
+		b.WriteByte(v)
+		i += 2
+	}
+	return b.String(), nil
 }
 
 func modelPath(dir string, ctx Context) string {
@@ -41,7 +81,9 @@ func signaturePath(dir string) string {
 }
 
 // SaveTo writes every trained model, invariant set and the signature
-// database into dir (created if needed).
+// database into dir (created if needed). Each file is written atomically
+// (temp + rename), so a crash mid-save leaves the previous complete store
+// in place rather than a truncated one.
 func (s *System) SaveTo(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -66,12 +108,53 @@ func (s *System) SaveTo(dir string) error {
 	return nil
 }
 
+// SkippedFile records one store file LoadFrom could not recover.
+type SkippedFile struct {
+	Name string
+	Err  error
+}
+
+// LoadReport summarises a LoadFrom: how many artefacts were recovered and
+// which files were skipped as corrupt or unreadable.
+type LoadReport struct {
+	Models     int
+	Invariants int
+	Signatures int
+	Skipped    []SkippedFile
+}
+
+// Partial reports whether any store file had to be skipped.
+func (r *LoadReport) Partial() bool { return len(r.Skipped) > 0 }
+
+func (r *LoadReport) String() string {
+	s := fmt.Sprintf("loaded %d models, %d invariant sets, %d signatures",
+		r.Models, r.Invariants, r.Signatures)
+	if r.Partial() {
+		names := make([]string, len(r.Skipped))
+		for i, sk := range r.Skipped {
+			names[i] = sk.Name
+		}
+		s += fmt.Sprintf("; skipped %d corrupt files (%s)", len(r.Skipped), strings.Join(names, ", "))
+	}
+	return s
+}
+
 // LoadFrom restores models, invariants and signatures previously written by
 // SaveTo. Loaded artefacts replace in-memory ones with the same context.
-func (s *System) LoadFrom(dir string) error {
+//
+// Recovery is per-file: a truncated, empty, malformed or newer-versioned
+// file is skipped and reported in the returned LoadReport instead of
+// failing the whole load — after a crash or a partial copy, everything
+// still intact comes back. The error return is reserved for dir-level
+// failures (the directory itself unreadable).
+func (s *System) LoadFrom(dir string) (*LoadReport, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	rep := &LoadReport{}
+	skip := func(name string, err error) {
+		rep.Skipped = append(rep.Skipped, SkippedFile{Name: name, Err: err})
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -82,38 +165,47 @@ func (s *System) LoadFrom(dir string) error {
 		case strings.HasPrefix(name, "model-") && strings.HasSuffix(name, ".xml"):
 			var f xmlstore.ModelFile
 			if err := xmlstore.LoadFile(full, &f); err != nil {
-				return fmt.Errorf("core: loading %s: %w", name, err)
+				skip(name, fmt.Errorf("core: loading %s: %w", name, err))
+				continue
 			}
 			d, err := f.Decode()
 			if err != nil {
-				return fmt.Errorf("core: decoding %s: %w", name, err)
+				skip(name, fmt.Errorf("core: decoding %s: %w", name, err))
+				continue
 			}
 			s.detectors[loadedCtx(f.Type, f.IP)] = d
+			rep.Models++
 		case strings.HasPrefix(name, "invariants-") && strings.HasSuffix(name, ".xml"):
 			var f xmlstore.InvariantFile
 			if err := xmlstore.LoadFile(full, &f); err != nil {
-				return fmt.Errorf("core: loading %s: %w", name, err)
+				skip(name, fmt.Errorf("core: loading %s: %w", name, err))
+				continue
 			}
 			set, err := f.Decode()
 			if err != nil {
-				return fmt.Errorf("core: decoding %s: %w", name, err)
+				skip(name, fmt.Errorf("core: decoding %s: %w", name, err))
+				continue
 			}
 			s.invariants[loadedCtx(f.Type, f.IP)] = set
+			rep.Invariants++
 		case name == "signatures.xml":
 			var f xmlstore.SignatureFile
 			if err := xmlstore.LoadFile(full, &f); err != nil {
-				return fmt.Errorf("core: loading %s: %w", name, err)
+				skip(name, fmt.Errorf("core: loading %s: %w", name, err))
+				continue
 			}
 			db, err := f.Decode()
 			if err != nil {
-				return fmt.Errorf("core: decoding %s: %w", name, err)
+				skip(name, fmt.Errorf("core: decoding %s: %w", name, err))
+				continue
 			}
 			for _, entry := range db.Entries() {
 				s.sigs.Add(entry)
+				rep.Signatures++
 			}
 		}
 	}
-	return nil
+	return rep, nil
 }
 
 // loadedCtx rebuilds a storage key from persisted fields.

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"invarnetx/internal/stats"
+	"invarnetx/internal/xmlstore"
+)
+
+func TestCtxFileTokenRoundTrip(t *testing.T) {
+	cases := []string{
+		"", "wordcount", "10.0.0.2",
+		"a/b", `a\b`, "glob*?", "colon:drive", "100%", "%2F", "a%b*c?d/e",
+		"sort-2024", "..", ". ",
+	}
+	for _, in := range cases {
+		tok := ctxFileToken(in)
+		if strings.ContainsAny(tok, `/\*?:`) {
+			t.Fatalf("token %q for %q still contains reserved characters", tok, in)
+		}
+		back, err := decodeCtxFileToken(tok)
+		if err != nil {
+			t.Fatalf("decode %q: %v", tok, err)
+		}
+		if back != in {
+			t.Fatalf("round trip %q -> %q -> %q", in, tok, back)
+		}
+	}
+	if tok := ctxFileToken(""); tok != "global" {
+		t.Fatalf("empty field token = %q", tok)
+	}
+	for _, bad := range []string{"%", "%2", "%zz"} {
+		if _, err := decodeCtxFileToken(bad); err == nil {
+			t.Fatalf("malformed token %q decoded", bad)
+		}
+	}
+}
+
+func TestCtxFileTokenKeepsPathsInsideStoreDir(t *testing.T) {
+	ctx := Context{Workload: "../escape", IP: "10.0.0.2/.."}
+	p := modelPath("store", ctx)
+	if filepath.Dir(p) != "store" {
+		t.Fatalf("hostile context escaped the store dir: %s", p)
+	}
+}
+
+// corruptStore trains and saves a system, then damages selected files.
+func corruptStore(t *testing.T) (dir string, ctx Context, s *System) {
+	t.Helper()
+	ctx = Context{Workload: "wordcount", IP: "10.0.0.2"}
+	s = trainSystem(t, DefaultConfig(), ctx, 740)
+	rng := stats.NewRNG(741)
+	if err := s.BuildSignature(ctx, "fault-a", synthTrace(rng, 40, 8, map[int]bool{0: true})); err != nil {
+		t.Fatal(err)
+	}
+	dir = t.TempDir()
+	if err := s.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir, ctx, s
+}
+
+func TestLoadFromSkipsTruncatedFile(t *testing.T) {
+	dir, ctx, _ := corruptStore(t)
+	mp := modelPath(dir, ctx)
+	whole, err := os.ReadFile(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mp, whole[:len(whole)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(DefaultConfig())
+	rep, err := s2.LoadFrom(dir)
+	if err != nil {
+		t.Fatalf("recoverable corruption failed the whole load: %v", err)
+	}
+	if !rep.Partial() || len(rep.Skipped) != 1 || !strings.HasPrefix(rep.Skipped[0].Name, "model-") {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Invariants != 1 || rep.Signatures != 1 {
+		t.Fatalf("intact artefacts not recovered: %+v", rep)
+	}
+	if _, err := s2.Detector(ctx); err == nil {
+		t.Fatal("truncated model silently loaded")
+	}
+	if _, err := s2.Invariants(ctx); err != nil {
+		t.Fatalf("intact invariants lost: %v", err)
+	}
+}
+
+func TestLoadFromSkipsZeroByteFile(t *testing.T) {
+	dir, ctx, _ := corruptStore(t)
+	if err := os.WriteFile(invariantPath(dir, ctx), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(DefaultConfig())
+	rep, err := s2.LoadFrom(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Skipped) != 1 || rep.Models != 1 || rep.Signatures != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "skipped 1 corrupt") {
+		t.Fatalf("report string = %q", rep.String())
+	}
+}
+
+func TestLoadFromSkipsUnknownVersion(t *testing.T) {
+	dir, ctx, _ := corruptStore(t)
+	mp := modelPath(dir, ctx)
+	whole, err := os.ReadFile(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := strings.Replace(string(whole), `version="1"`, `version="99"`, 1)
+	if future == string(whole) {
+		t.Fatal("test setup: version attribute not found")
+	}
+	if err := os.WriteFile(mp, []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(DefaultConfig())
+	rep, err := s2.LoadFrom(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Skipped) != 1 || !errors.Is(rep.Skipped[0].Err, xmlstore.ErrVersion) {
+		t.Fatalf("report = %+v", rep)
+	}
+	if _, err := s2.Detector(ctx); err == nil {
+		t.Fatal("future-versioned model silently loaded")
+	}
+}
+
+func TestConcurrentSaveToLeavesParseableStore(t *testing.T) {
+	ctx := Context{Workload: "wordcount", IP: "10.0.0.2"}
+	s := trainSystem(t, DefaultConfig(), ctx, 750)
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.SaveTo(dir); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s2 := New(DefaultConfig())
+	rep, err := s2.LoadFrom(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partial() {
+		t.Fatalf("concurrent SaveTo left corrupt files: %v", rep)
+	}
+	if _, err := s2.Detector(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Invariants(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"invarnetx/internal/stats"
+)
+
+// recordingSleep captures backoff delays without waiting.
+type recordingSleep struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (r *recordingSleep) sleep(d time.Duration) {
+	r.mu.Lock()
+	r.delays = append(r.delays, d)
+	r.mu.Unlock()
+}
+
+func (r *recordingSleep) snapshot() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.delays...)
+}
+
+func quietConfig(rs *recordingSleep) SupervisorConfig {
+	return SupervisorConfig{
+		BaseBackoff: time.Millisecond,
+		Logf:        func(string, ...any) {},
+		Sleep:       rs.sleep,
+	}
+}
+
+func waitStatus(t *testing.T, sup *Supervisor, name string, pred func(JobStatus) bool) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, ok := sup.Status(name)
+		if ok && pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %q never reached the expected state: %+v", name, st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSupervisorRestartsPanickingJobWithBackoff(t *testing.T) {
+	rs := &recordingSleep{}
+	sup := NewSupervisor(quietConfig(rs))
+	defer sup.Stop()
+	var attempts atomic.Int32
+	done := make(chan struct{})
+	err := sup.Supervise("mon", func(stop <-chan struct{}) error {
+		n := attempts.Add(1)
+		if n <= 3 {
+			panic(fmt.Sprintf("poisoned CPI stream (attempt %d)", n))
+		}
+		close(done)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	st := waitStatus(t, sup, "mon", func(st JobStatus) bool { return !st.Running })
+	if st.Restarts != 3 || st.GaveUp || st.Err != nil {
+		t.Fatalf("status = %+v, want 3 restarts, no give-up", st)
+	}
+	if st.LastPanic != "poisoned CPI stream (attempt 3)" {
+		t.Fatalf("LastPanic = %q", st.LastPanic)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	got := rs.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("backoffs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("backoff %d = %v, want %v (exponential doubling)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSupervisorGivesUpAfterMaxRestarts(t *testing.T) {
+	rs := &recordingSleep{}
+	cfg := quietConfig(rs)
+	cfg.MaxRestarts = 3
+	var logged atomic.Int32
+	cfg.Logf = func(string, ...any) { logged.Add(1) }
+	sup := NewSupervisor(cfg)
+	defer sup.Stop()
+	var attempts atomic.Int32
+	if err := sup.Supervise("mon", func(stop <-chan struct{}) error {
+		attempts.Add(1)
+		panic("always")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := waitStatus(t, sup, "mon", func(st JobStatus) bool { return st.GaveUp })
+	if st.Running || st.Restarts != 3 {
+		t.Fatalf("status = %+v", st)
+	}
+	if n := attempts.Load(); n != 4 { // initial run + 3 restarts
+		t.Fatalf("attempts = %d, want 4", n)
+	}
+	if logged.Load() == 0 {
+		t.Fatal("give-up was not logged")
+	}
+}
+
+func TestSupervisorBackoffCap(t *testing.T) {
+	rs := &recordingSleep{}
+	cfg := quietConfig(rs)
+	cfg.MaxRestarts = 6
+	cfg.BaseBackoff = time.Millisecond
+	cfg.MaxBackoff = 4 * time.Millisecond
+	sup := NewSupervisor(cfg)
+	defer sup.Stop()
+	if err := sup.Supervise("mon", func(stop <-chan struct{}) error { panic("x") }); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, sup, "mon", func(st JobStatus) bool { return st.GaveUp })
+	for i, d := range rs.snapshot() {
+		if d > 4*time.Millisecond {
+			t.Fatalf("backoff %d = %v exceeds the cap", i, d)
+		}
+	}
+}
+
+func TestSupervisorJobErrorRecorded(t *testing.T) {
+	rs := &recordingSleep{}
+	sup := NewSupervisor(quietConfig(rs))
+	defer sup.Stop()
+	wantErr := fmt.Errorf("stream closed")
+	if err := sup.Supervise("mon", func(stop <-chan struct{}) error { return wantErr }); err != nil {
+		t.Fatal(err)
+	}
+	st := waitStatus(t, sup, "mon", func(st JobStatus) bool { return !st.Running })
+	if st.Err != wantErr || st.Restarts != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+	if len(rs.snapshot()) != 0 {
+		t.Fatal("error return must not trigger backoff")
+	}
+}
+
+func TestSupervisorRejectsDuplicatesAndStops(t *testing.T) {
+	rs := &recordingSleep{}
+	sup := NewSupervisor(quietConfig(rs))
+	block := func(stop <-chan struct{}) error { <-stop; return nil }
+	if err := sup.Supervise("mon", block); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Supervise("mon", block); err == nil {
+		t.Fatal("duplicate job name accepted")
+	}
+	sup.Stop()
+	st, ok := sup.Status("mon")
+	if !ok || st.Running {
+		t.Fatalf("after Stop: %+v", st)
+	}
+	if err := sup.Supervise("late", block); err == nil {
+		t.Fatal("stopped supervisor accepted a job")
+	}
+}
+
+// TestSuperviseMonitorPanicRecovery injects a panicking alert handler into
+// a real supervised monitor: the panic is recovered, the monitor is rebuilt
+// fresh, and the next anomalous burst still raises the alert.
+func TestSuperviseMonitorPanicRecovery(t *testing.T) {
+	ctx := Context{Workload: "wordcount", IP: "10.0.0.2"}
+	s := trainSystem(t, DefaultConfig(), ctx, 730)
+	rng := stats.NewRNG(731)
+	normal := synthTrace(rng, traceLen, 8, nil)
+
+	rs := &recordingSleep{}
+	sup := NewSupervisor(quietConfig(rs))
+	defer sup.Stop()
+
+	samples := make(chan float64)
+	alerts := make(chan Context, 64)
+	var calls atomic.Int32
+	onAlert := func(c Context) {
+		if calls.Add(1) == 1 {
+			panic("alert handler bug")
+		}
+		alerts <- c
+	}
+	if err := s.SuperviseMonitor(sup, "job-1", ctx, normal.CPI[:10], samples, onAlert); err != nil {
+		t.Fatal(err)
+	}
+
+	feedBurst := func() {
+		for i := 0; i < 10; i++ {
+			samples <- 2.5
+		}
+	}
+	feedBurst() // first alert panics inside the handler
+	waitStatus(t, sup, "job-1", func(st JobStatus) bool { return st.Restarts == 1 })
+	feedBurst() // the rebuilt monitor must alert again
+	select {
+	case c := <-alerts:
+		if c != ctx {
+			t.Fatalf("alert context = %v", c)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no alert from the restarted monitor")
+	}
+	st, _ := sup.Status("job-1")
+	if st.GaveUp || st.LastPanic != "alert handler bug" {
+		t.Fatalf("status = %+v", st)
+	}
+	close(samples)
+	waitStatus(t, sup, "job-1", func(st JobStatus) bool { return !st.Running })
+
+	if _, err := s.Detector(Context{Workload: "none", IP: "none"}); err == nil {
+		t.Fatal("sanity: unknown context should have no detector")
+	}
+	if err := s.SuperviseMonitor(sup, "job-2", Context{Workload: "none", IP: "none"}, nil, samples, nil); err == nil {
+		t.Fatal("SuperviseMonitor accepted an untrained context")
+	}
+}

@@ -23,6 +23,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"invarnetx/internal/detect"
@@ -249,6 +250,49 @@ func (s *System) ViolationTuple(ctx Context, abnormal *metrics.Trace) (signature
 	return tuple, pairs, nil
 }
 
+// traceDegraded reports whether the abnormal window needs the masked
+// diagnosis path: it carries a validity mask, or raw non-finite samples
+// (telemetry gaps stored as NaN without a mask).
+func traceDegraded(tr *metrics.Trace) bool {
+	if tr.Masked() {
+		return true
+	}
+	for _, row := range tr.Rows {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ViolationTupleMasked is ViolationTuple under degraded telemetry: pairs
+// whose metrics were unavailable in the window are *unknown* (known[k]
+// false, tuple[k] false) instead of counted as violated. The returned pairs
+// are the known violated ones.
+func (s *System) ViolationTupleMasked(ctx Context, abnormal *metrics.Trace) (signature.Tuple, []bool, []invariant.Pair, error) {
+	set, err := s.Invariants(ctx)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	mat, pm, err := invariant.ComputeMaskedMatrix(abnormal.Rows, abnormal.Valid, s.cfg.Assoc, 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	raw, known, err := set.ViolationsMasked(mat, s.cfg.Epsilon, pm)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var pairs []invariant.Pair
+	for k, p := range set.SortedPairs() {
+		if raw[k] && known[k] {
+			pairs = append(pairs, p)
+		}
+	}
+	return signature.Tuple(raw), known, pairs, nil
+}
+
 // BuildSignature records the violation tuple of an investigated problem in
 // the signature database: "Once the performance problem is resolved, a new
 // signature will be added into the signature base."
@@ -282,13 +326,30 @@ func (s *System) SignatureDB() *signature.DB { return &s.sigs }
 type Diagnosis struct {
 	Context Context
 	Tuple   signature.Tuple
+	// Known flags which invariants were checkable in the abnormal window;
+	// under degraded telemetry, invariants whose metrics were unavailable
+	// are unknown — neither holding nor violated. Nil means every
+	// invariant was checkable.
+	Known []bool
+	// Coverage is the fraction of invariants that were checkable (1 on a
+	// clean window).
+	Coverage float64
+	// Confidence is the coverage-weighted score of the top cause: the
+	// best signature similarity, computed only over known invariants and
+	// scaled by Coverage. 0 when no cause matched or nothing was
+	// checkable.
+	Confidence float64
 	// Causes is ranked most-probable-first; empty when the database holds
 	// nothing similar ("we provide some hints and leave the problem to
-	// the system administrators").
+	// the system administrators"). Scores are weighted by Coverage, so a
+	// perfect match over half-blind telemetry scores 0.5, not 1.
 	Causes []signature.Match
 	// Hints names the violated metric pairs, e.g.
 	// "mem.pagefaults-cpu.user".
 	Hints []string
+	// Unknown names the metric pairs whose invariants could not be
+	// checked, so operators can see what the diagnosis is blind to.
+	Unknown []string
 }
 
 // RootCause returns the top-ranked cause, or "" when unknown.
@@ -299,18 +360,55 @@ func (d *Diagnosis) RootCause() string {
 	return d.Causes[0].Problem
 }
 
-// Diagnose runs cause inference on an abnormal metric window for ctx.
+// pairName renders an invariant pair as a hint string, e.g.
+// "mem.pagefaults-cpu.user".
+func pairName(p invariant.Pair) string {
+	if p.I < len(metrics.Names) && p.J < len(metrics.Names) {
+		return metrics.Names[p.I] + "-" + metrics.Names[p.J]
+	}
+	return fmt.Sprintf("m%d-m%d", p.I, p.J)
+}
+
+// Diagnose runs cause inference on an abnormal metric window for ctx. A
+// window with missing or masked samples takes the degraded path: invariants
+// whose metrics were unavailable are reported unknown rather than violated,
+// signature similarity is computed only over the known invariants, and the
+// resulting scores and Confidence are weighted by the checkable fraction.
 func (s *System) Diagnose(ctx Context, abnormal *metrics.Trace) (*Diagnosis, error) {
-	tuple, pairs, err := s.ViolationTuple(ctx, abnormal)
+	var (
+		tuple signature.Tuple
+		known []bool
+		pairs []invariant.Pair
+		err   error
+	)
+	degraded := traceDegraded(abnormal)
+	if degraded {
+		tuple, known, pairs, err = s.ViolationTupleMasked(ctx, abnormal)
+	} else {
+		tuple, pairs, err = s.ViolationTuple(ctx, abnormal)
+	}
 	if err != nil {
 		return nil, err
 	}
-	diag := &Diagnosis{Context: ctx, Tuple: tuple}
+	diag := &Diagnosis{Context: ctx, Tuple: tuple, Known: known, Coverage: 1}
 	for _, p := range pairs {
-		if p.I < len(metrics.Names) && p.J < len(metrics.Names) {
-			diag.Hints = append(diag.Hints, metrics.Names[p.I]+"-"+metrics.Names[p.J])
-		} else {
-			diag.Hints = append(diag.Hints, fmt.Sprintf("m%d-m%d", p.I, p.J))
+		diag.Hints = append(diag.Hints, pairName(p))
+	}
+	if known != nil {
+		set, err := s.Invariants(ctx)
+		if err != nil {
+			return nil, err
+		}
+		checkable := 0
+		for k, ok := range known {
+			if ok {
+				checkable++
+			} else {
+				diag.Unknown = append(diag.Unknown, pairName(set.SortedPairs()[k]))
+			}
+		}
+		if len(known) > 0 {
+			diag.Coverage = float64(checkable) / float64(len(known))
 		}
 	}
 	ip, wl := ctx.IP, ctx.Workload
@@ -318,7 +416,7 @@ func (s *System) Diagnose(ctx Context, abnormal *metrics.Trace) (*Diagnosis, err
 		ip, wl = "", ""
 	}
 	s.mu.RLock()
-	matches, err := s.sigs.Match(tuple, ip, wl, s.cfg.Similarity, 0)
+	matches, err := s.sigs.MatchMasked(tuple, known, ip, wl, s.cfg.Similarity, 0)
 	s.mu.RUnlock()
 	if err != nil {
 		if errors.Is(err, signature.ErrEmpty) {
@@ -330,6 +428,16 @@ func (s *System) Diagnose(ctx Context, abnormal *metrics.Trace) (*Diagnosis, err
 	if s.cfg.TopK > 0 && len(ranked) > s.cfg.TopK {
 		ranked = ranked[:s.cfg.TopK]
 	}
+	// Weight similarity by the checkable fraction: a perfect match found
+	// while blind to half the invariants is only half the evidence.
+	if diag.Coverage < 1 {
+		for i := range ranked {
+			ranked[i].Score *= diag.Coverage
+		}
+	}
 	diag.Causes = ranked
+	if len(ranked) > 0 {
+		diag.Confidence = ranked[0].Score
+	}
 	return diag, nil
 }

@@ -248,8 +248,12 @@ func TestPersistenceRoundTrip(t *testing.T) {
 	}
 
 	s2 := New(DefaultConfig())
-	if err := s2.LoadFrom(dir); err != nil {
+	rep, err := s2.LoadFrom(dir)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if rep.Partial() {
+		t.Fatalf("clean store loaded partially: %v", rep)
 	}
 	if s2.SignatureCount() != 1 {
 		t.Fatalf("loaded signatures = %d", s2.SignatureCount())
@@ -282,7 +286,7 @@ func TestPersistenceRoundTrip(t *testing.T) {
 
 func TestLoadFromMissingDir(t *testing.T) {
 	s := New(DefaultConfig())
-	if err := s.LoadFrom("/nonexistent/dir"); err == nil {
+	if _, err := s.LoadFrom("/nonexistent/dir"); err == nil {
 		t.Error("missing dir should error")
 	}
 }

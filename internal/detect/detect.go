@@ -9,6 +9,7 @@ package detect
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"invarnetx/internal/arima"
 	"invarnetx/internal/stats"
@@ -102,6 +103,15 @@ func Train(traces [][]float64, cfg Config) (*Detector, error) {
 	if cfg.Consecutive <= 0 {
 		cfg.Consecutive = DefaultConsecutive
 	}
+	// Telemetry gaps surface as NaN samples inside CPI traces. The ARIMA
+	// recursions propagate a single NaN through every later residual, so a
+	// trace is split at its non-finite samples and each finite segment is
+	// fitted as an independent trace (CSS treats traces independently
+	// anyway). Segments too short to carry lag structure are dropped.
+	traces = splitFiniteSegments(traces)
+	if len(traces) == 0 {
+		return nil, ErrNoTraining
+	}
 	model, err := arima.FitMulti(traces, cfg.Select)
 	if err != nil {
 		return nil, fmt.Errorf("detect: %w", err)
@@ -114,6 +124,9 @@ func Train(traces [][]float64, cfg Config) (*Detector, error) {
 		}
 		r = append(r, stats.Abs(res)...)
 	}
+	// A non-finite residual would make beta*max(R) (and every other rule)
+	// NaN, silencing the detector forever; drop them before thresholding.
+	r = stats.DropNonFinite(r)
 	if len(r) == 0 {
 		return nil, ErrNoTraining
 	}
@@ -131,6 +144,39 @@ func Train(traces [][]float64, cfg Config) (*Detector, error) {
 		return nil, fmt.Errorf("detect: unknown rule %v", cfg.Rule)
 	}
 	return d, nil
+}
+
+// minSegment is the shortest finite CPI segment worth fitting: enough
+// samples to expose lag structure to the order search.
+const minSegment = 8
+
+// splitFiniteSegments breaks every trace at its NaN/±Inf samples and
+// returns the finite segments of usable length. Fully finite traces pass
+// through unchanged.
+func splitFiniteSegments(traces [][]float64) [][]float64 {
+	var out [][]float64
+	for _, tr := range traces {
+		if stats.AllFinite(tr) {
+			if len(tr) > 0 {
+				out = append(out, tr)
+			}
+			continue
+		}
+		start := -1
+		for i := 0; i <= len(tr); i++ {
+			finite := i < len(tr) && !math.IsNaN(tr[i]) && !math.IsInf(tr[i], 0)
+			if finite && start < 0 {
+				start = i
+			}
+			if !finite && start >= 0 {
+				if i-start >= minSegment {
+					out = append(out, tr[start:i])
+				}
+				start = -1
+			}
+		}
+	}
+	return out
 }
 
 // Residual returns |observed − predicted| for the sample following history.
@@ -176,17 +222,46 @@ type Monitor struct {
 	alerted bool
 	// AnomalyLog records the per-sample anomaly decisions (Fig. 6 plots).
 	AnomalyLog []bool
+	// gaps counts missing (NaN/±Inf) samples offered so far; consecGaps is
+	// the current run of them.
+	gaps       int
+	consecGaps int
 }
 
 // NewMonitor starts a monitor seeded with the warm-up CPI history (at least
-// the model's lag depth; typically the first samples of the run).
+// the model's lag depth; typically the first samples of the run). Non-finite
+// warm-up samples — telemetry gaps — are excluded from the seed history so
+// they cannot poison the first forecasts.
 func (d *Detector) NewMonitor(warmup []float64) *Monitor {
-	return &Monitor{d: d, history: append([]float64(nil), warmup...)}
+	m := &Monitor{d: d, history: make([]float64, 0, len(warmup))}
+	for _, v := range warmup {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			m.history = append(m.history, v)
+		}
+	}
+	return m
 }
 
 // Offer feeds one CPI sample and returns whether this sample is anomalous.
 // Samples too early to predict are treated as normal.
+//
+// A NaN/±Inf sample is a telemetry gap, not an observation: it is excluded
+// from the prediction history (a NaN would poison every later forecast) and
+// is neither anomalous nor normal, so it leaves the consecutive-anomaly
+// counter untouched. Only when the outage itself reaches Consecutive
+// missing samples is the counter cleared — at that point the detector can
+// no longer claim that anomalies straddling the outage were consecutive.
 func (m *Monitor) Offer(sample float64) bool {
+	if math.IsNaN(sample) || math.IsInf(sample, 0) {
+		m.gaps++
+		m.consecGaps++
+		if m.consecGaps >= m.d.Consecutive {
+			m.run = 0
+		}
+		m.AnomalyLog = append(m.AnomalyLog, false)
+		return false
+	}
+	m.consecGaps = 0
 	res, err := m.d.Residual(m.history, sample)
 	m.history = append(m.history, sample)
 	anom := err == nil && m.d.Anomalous(res)
@@ -204,6 +279,9 @@ func (m *Monitor) Offer(sample float64) bool {
 
 // Alert reports whether the consecutive-anomaly rule has fired.
 func (m *Monitor) Alert() bool { return m.alerted }
+
+// Gaps returns how many missing (non-finite) samples the monitor has seen.
+func (m *Monitor) Gaps() int { return m.gaps }
 
 // Reset clears the alert state but keeps the history (diagnosis resolved,
 // monitoring continues).

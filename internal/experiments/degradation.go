@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"invarnetx/internal/core"
+	"invarnetx/internal/faults"
+	"invarnetx/internal/stats"
+	"invarnetx/internal/telemetry"
+	"invarnetx/internal/workload"
+)
+
+// DegradationPoint is the diagnosis outcome at one telemetry loss level.
+type DegradationPoint struct {
+	// DropRate is the injected per-reading loss probability.
+	DropRate float64
+	// Runs is how many faulted runs were diagnosed at this level.
+	Runs int
+	// Correct counts runs whose top-ranked cause was the injected fault.
+	Correct int
+	// MeanCoverage is the mean fraction of invariants that stayed
+	// checkable; MeanConfidence the mean coverage-weighted top score.
+	MeanCoverage   float64
+	MeanConfidence float64
+}
+
+// Accuracy returns Correct/Runs (0 when no runs).
+func (p DegradationPoint) Accuracy() float64 {
+	if p.Runs == 0 {
+		return 0
+	}
+	return float64(p.Correct) / float64(p.Runs)
+}
+
+// DegradationStudy measures how diagnosis accuracy and the reported
+// confidence degrade as the telemetry stream loses samples — the
+// robustness companion to the paper's accuracy figures. A well-behaved
+// system degrades gracefully: accuracy falls with loss, and the confidence
+// score falls with it, so operators can tell a confident diagnosis from a
+// guess made half-blind.
+type DegradationStudy struct {
+	Workload workload.Type
+	Fault    faults.Kind
+	Points   []DegradationPoint
+}
+
+func (s *DegradationStudy) String() string {
+	out := fmt.Sprintf("telemetry degradation: %s under %s\n", s.Workload, s.Fault)
+	for _, p := range s.Points {
+		out += fmt.Sprintf("  drop %4.0f%%: accuracy %.2f, coverage %.2f, confidence %.2f (%d runs)\n",
+			p.DropRate*100, p.Accuracy(), p.MeanCoverage, p.MeanConfidence, p.Runs)
+	}
+	return out
+}
+
+// RunDegradationStudy trains the pipeline for workload w, builds the
+// signature base, then diagnoses runsPerRate faulted runs of kind at each
+// sample-loss level in dropRates, replaying every abnormal window through a
+// telemetry.Collector before diagnosis. Gap policy is Mask (the honest
+// one), so lost samples surface as unknown invariants rather than
+// fabricated values.
+func (r *Runner) RunDegradationStudy(w workload.Type, kind faults.Kind, dropRates []float64, runsPerRate int) (*DegradationStudy, error) {
+	if !faults.Valid(kind) {
+		return nil, fmt.Errorf("experiments: unknown fault %q", kind)
+	}
+	sys, _, err := r.TrainSystem(w)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range FaultKindsFor(w) {
+		for i := 0; i < r.opts.SignatureRuns; i++ {
+			res, err := r.Run(w, k, 100000+i)
+			if err != nil {
+				return nil, err
+			}
+			win, err := AbnormalWindow(res.TargetTrace(), res.Window.Start, r.opts.FaultTicks)
+			if err != nil {
+				return nil, err
+			}
+			ctx := core.Context{Workload: string(w), IP: res.TargetIP}
+			if err := sys.BuildSignature(ctx, string(k), win); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	study := &DegradationStudy{Workload: w, Fault: kind}
+	for ri, rate := range dropRates {
+		if rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("experiments: drop rate %v is not a probability", rate)
+		}
+		pt := DegradationPoint{DropRate: rate}
+		for i := 0; i < runsPerRate; i++ {
+			res, err := r.Run(w, kind, i)
+			if err != nil {
+				return nil, err
+			}
+			win, err := AbnormalWindow(res.TargetTrace(), res.Window.Start, r.opts.FaultTicks)
+			if err != nil {
+				return nil, err
+			}
+			col := telemetry.New(telemetry.Config{
+				Faults: telemetry.FaultModel{DropRate: rate},
+				Policy: telemetry.Mask,
+			}, stats.NewRNG(r.opts.Seed+int64(1000*ri+i)))
+			deg, _, err := col.Degrade(win)
+			if err != nil {
+				return nil, err
+			}
+			ctx := core.Context{Workload: string(w), IP: res.TargetIP}
+			diag, err := sys.Diagnose(ctx, deg)
+			if err != nil {
+				return nil, err
+			}
+			pt.Runs++
+			if diag.RootCause() == string(kind) {
+				pt.Correct++
+			}
+			pt.MeanCoverage += diag.Coverage
+			pt.MeanConfidence += diag.Confidence
+		}
+		if pt.Runs > 0 {
+			pt.MeanCoverage /= float64(pt.Runs)
+			pt.MeanConfidence /= float64(pt.Runs)
+		}
+		study.Points = append(study.Points, pt)
+	}
+	return study, nil
+}

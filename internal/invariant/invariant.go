@@ -121,6 +121,134 @@ type Pair struct {
 	I, J int
 }
 
+// DefaultMinSamples is the smallest number of overlapping valid samples a
+// pair needs for its association to be computable under a degraded
+// telemetry window (matches mic.MinSamples).
+const DefaultMinSamples = 8
+
+// PairMask records which pairs of an association matrix carry a computable
+// score. Pairs whose metrics were unavailable (agent outage, dropped or
+// corrupt samples) are *unknown*: the diagnosis layer must treat them as
+// neither holding nor violated.
+type PairMask struct {
+	M  int
+	ok []bool // flat upper-triangle indexing, as Matrix
+}
+
+// NewPairMask returns a mask over m metrics with every pair set to allOK.
+func NewPairMask(m int, allOK bool) *PairMask {
+	k := &PairMask{M: m, ok: make([]bool, m*(m-1)/2)}
+	if allOK {
+		for i := range k.ok {
+			k.ok[i] = true
+		}
+	}
+	return k
+}
+
+func (k *PairMask) index(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	if i == j || j >= k.M || i < 0 {
+		panic(fmt.Sprintf("invariant: bad pair (%d,%d) for M=%d", i, j, k.M))
+	}
+	return i*(2*k.M-i-1)/2 + (j - i - 1)
+}
+
+// OK reports whether pair (i, j) has a computable score.
+func (k *PairMask) OK(i, j int) bool { return k.ok[k.index(i, j)] }
+
+// Set marks pair (i, j) computable or not.
+func (k *PairMask) Set(i, j int, v bool) { k.ok[k.index(i, j)] = v }
+
+// KnownCount returns how many pairs are computable.
+func (k *PairMask) KnownCount() int {
+	n := 0
+	for _, v := range k.ok {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// ComputeMaskedMatrix builds the association matrix of metric rows whose
+// samples may be missing or corrupt. valid[m][t] false excludes tick t from
+// every pair involving metric m (nil valid means all samples genuine); any
+// residual non-finite value is excluded defensively as well. A pair is
+// computable only when at least minSamples ticks survive for both metrics
+// (minSamples <= 0 selects DefaultMinSamples); other pairs score 0 and are
+// reported unknown in the returned mask.
+func ComputeMaskedMatrix(rows [][]float64, valid [][]bool, assoc AssociationFunc, minSamples int) (*Matrix, *PairMask, error) {
+	m := len(rows)
+	if m < 2 {
+		return nil, nil, fmt.Errorf("invariant: need >= 2 metrics, got %d", m)
+	}
+	n := len(rows[0])
+	for i, r := range rows {
+		if len(r) != n {
+			return nil, nil, fmt.Errorf("invariant: metric %d has %d samples, want %d", i, len(r), n)
+		}
+	}
+	if valid != nil && len(valid) != m {
+		return nil, nil, fmt.Errorf("invariant: %d mask rows for %d metrics", len(valid), m)
+	}
+	if minSamples <= 0 {
+		minSamples = DefaultMinSamples
+	}
+	// usable[m][t]: the sample exists and is finite.
+	usable := make([][]bool, m)
+	for i := range rows {
+		u := make([]bool, n)
+		for t, v := range rows[i] {
+			u[t] = !math.IsNaN(v) && !math.IsInf(v, 0) && (valid == nil || valid[i][t])
+		}
+		usable[i] = u
+	}
+	a := NewMatrix(m)
+	mask := NewPairMask(m, false)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	rowCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			xs := make([]float64, 0, n)
+			ys := make([]float64, 0, n)
+			for i := range rowCh {
+				for j := i + 1; j < m; j++ {
+					xs, ys = xs[:0], ys[:0]
+					for t := 0; t < n; t++ {
+						if usable[i][t] && usable[j][t] {
+							xs = append(xs, rows[i][t])
+							ys = append(ys, rows[j][t])
+						}
+					}
+					if len(xs) < minSamples {
+						continue // unknown: mask stays false, score stays 0
+					}
+					a.Set(i, j, assoc(xs, ys))
+					mask.Set(i, j, true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < m; i++ {
+		rowCh <- i
+	}
+	close(rowCh)
+	wg.Wait()
+	return a, mask, nil
+}
+
 // Set is a selected invariant set: the stable pairs and their baseline
 // association values.
 type Set struct {
@@ -230,6 +358,35 @@ func (s *Set) Violations(abnormal *Matrix, epsilon float64) ([]bool, error) {
 		}
 	}
 	return out, nil
+}
+
+// ViolationsMasked is Violations under a degraded telemetry window: pairs
+// the mask marks uncomputable are reported as *unknown* — not violated —
+// via the parallel known slice (known[k] false ⇒ tuple[k] false). A nil
+// mask makes every pair known, reducing to Violations.
+func (s *Set) ViolationsMasked(abnormal *Matrix, epsilon float64, mask *PairMask) (tuple []bool, known []bool, err error) {
+	if abnormal.M != s.M {
+		return nil, nil, fmt.Errorf("invariant: matrix dimension %d, invariant set dimension %d", abnormal.M, s.M)
+	}
+	if mask != nil && mask.M != s.M {
+		return nil, nil, fmt.Errorf("invariant: mask dimension %d, invariant set dimension %d", mask.M, s.M)
+	}
+	if epsilon <= 0 {
+		epsilon = DefaultEpsilon
+	}
+	tuple = make([]bool, len(s.pairs))
+	known = make([]bool, len(s.pairs))
+	const slack = 1e-9
+	for k, p := range s.pairs {
+		if mask != nil && !mask.OK(p.I, p.J) {
+			continue // unknown: both flags stay false
+		}
+		known[k] = true
+		if math.Abs(s.Base[p]-abnormal.Get(p.I, p.J)) >= epsilon-slack {
+			tuple[k] = true
+		}
+	}
+	return tuple, known, nil
 }
 
 // ViolatedPairs returns the pairs whose invariants the abnormal matrix

@@ -1,0 +1,159 @@
+package invariant
+
+import (
+	"math"
+	"testing"
+)
+
+// pearsonish is a cheap association for tests: 1 for identical slices,
+// else a bounded score derived from mean absolute difference.
+func testAssoc(x, y []float64) float64 {
+	var d float64
+	for i := range x {
+		d += math.Abs(x[i] - y[i])
+	}
+	d /= float64(len(x))
+	s := 1 / (1 + d)
+	return s
+}
+
+func TestPairMask(t *testing.T) {
+	k := NewPairMask(4, true)
+	if !k.OK(0, 1) || !k.OK(2, 3) {
+		t.Fatal("allOK mask has false pairs")
+	}
+	if k.KnownCount() != 6 {
+		t.Fatalf("KnownCount = %d, want 6", k.KnownCount())
+	}
+	k.Set(1, 3, false)
+	if k.OK(3, 1) {
+		t.Fatal("Set(1,3,false) not visible via (3,1)")
+	}
+	if k.KnownCount() != 5 {
+		t.Fatalf("KnownCount = %d, want 5", k.KnownCount())
+	}
+}
+
+func TestComputeMaskedMatrixNilMask(t *testing.T) {
+	rows := [][]float64{
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		{2, 4, 6, 8, 10, 12, 14, 16, 18, 20},
+		{5, 5, 5, 5, 5, 5, 5, 5, 5, 5},
+	}
+	a, mask, err := ComputeMaskedMatrix(rows, nil, testAssoc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask.KnownCount() != 3 {
+		t.Fatalf("all pairs should be known, got %d", mask.KnownCount())
+	}
+	want, err2 := ComputeMatrix(rows, testAssoc)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if a.Get(i, j) != want.Get(i, j) {
+				t.Fatalf("masked(%d,%d)=%v, unmasked=%v", i, j, a.Get(i, j), want.Get(i, j))
+			}
+		}
+	}
+}
+
+func TestComputeMaskedMatrixUnknownPairs(t *testing.T) {
+	n := 12
+	rows := make([][]float64, 3)
+	valid := make([][]bool, 3)
+	for m := range rows {
+		rows[m] = make([]float64, n)
+		valid[m] = make([]bool, n)
+		for t := 0; t < n; t++ {
+			rows[m][t] = float64(t + m)
+			valid[m][t] = true
+		}
+	}
+	// Metric 2 is almost entirely lost: < minSamples overlap with anyone.
+	for t := 0; t < n-3; t++ {
+		valid[2][t] = false
+	}
+	a, mask, err := ComputeMaskedMatrix(rows, valid, testAssoc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mask.OK(0, 1) {
+		t.Fatal("pair (0,1) should be computable")
+	}
+	if mask.OK(0, 2) || mask.OK(1, 2) {
+		t.Fatal("pairs involving the lost metric should be unknown")
+	}
+	if a.Get(0, 2) != 0 || a.Get(1, 2) != 0 {
+		t.Fatal("unknown pairs should score 0")
+	}
+}
+
+func TestComputeMaskedMatrixNaNExcluded(t *testing.T) {
+	n := 16
+	rows := make([][]float64, 2)
+	for m := range rows {
+		rows[m] = make([]float64, n)
+		for t := 0; t < n; t++ {
+			rows[m][t] = float64(t)
+		}
+	}
+	rows[0][3] = math.NaN() // no mask, but NaN must still be excluded
+	a, mask, err := ComputeMaskedMatrix(rows, nil, func(x, y []float64) float64 {
+		for _, v := range append(append([]float64(nil), x...), y...) {
+			if math.IsNaN(v) {
+				t.Fatal("NaN reached the association function")
+			}
+		}
+		return 1
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mask.OK(0, 1) || a.Get(0, 1) != 1 {
+		t.Fatal("pair with one NaN tick should still be computable from the rest")
+	}
+}
+
+func TestViolationsMasked(t *testing.T) {
+	base := map[Pair]float64{
+		{0, 1}: 0.9,
+		{0, 2}: 0.9,
+		{1, 2}: 0.9,
+	}
+	set := NewSet(3, base)
+	ab := NewMatrix(3)
+	ab.Set(0, 1, 0.9) // holds
+	ab.Set(0, 2, 0.1) // violated, but will be masked unknown
+	ab.Set(1, 2, 0.1) // violated
+	mask := NewPairMask(3, true)
+	mask.Set(0, 2, false)
+	tuple, known, err := set.ViolationsMasked(ab, 0.2, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted pair order: (0,1), (0,2), (1,2).
+	if tuple[0] || !known[0] {
+		t.Fatalf("pair (0,1): tuple=%v known=%v, want holds/known", tuple[0], known[0])
+	}
+	if tuple[1] || known[1] {
+		t.Fatalf("pair (0,2): tuple=%v known=%v, want unknown (not violated)", tuple[1], known[1])
+	}
+	if !tuple[2] || !known[2] {
+		t.Fatalf("pair (1,2): tuple=%v known=%v, want violated/known", tuple[2], known[2])
+	}
+
+	// Nil mask reduces to the plain Violations.
+	tuple2, known2, err := set.ViolationsMasked(ab, 0.2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := set.Violations(ab, 0.2)
+	for k := range plain {
+		if tuple2[k] != plain[k] || !known2[k] {
+			t.Fatalf("nil-mask ViolationsMasked diverges from Violations at %d", k)
+		}
+	}
+}

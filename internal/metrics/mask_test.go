@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func fullVector(v float64) []float64 {
+	s := make([]float64, Count)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func allTrue() []bool {
+	m := make([]bool, Count)
+	for i := range m {
+		m[i] = true
+	}
+	return m
+}
+
+func TestTraceUnmaskedStaysUnmasked(t *testing.T) {
+	tr := NewTrace("10.0.0.2", "wordcount")
+	for i := 0; i < 5; i++ {
+		if err := tr.Add(fullVector(float64(i)), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Masked() {
+		t.Fatal("plain Add materialised masks")
+	}
+	if f := tr.ValidFraction(); f != 1 {
+		t.Fatalf("ValidFraction = %v, want 1", f)
+	}
+	if tr.MetricValid(0) != nil {
+		t.Fatal("MetricValid should be nil for unmasked trace")
+	}
+}
+
+func TestAddMaskedBackfills(t *testing.T) {
+	tr := NewTrace("10.0.0.2", "sort")
+	tr.Add(fullVector(1), 1)
+	tr.Add(fullVector(2), 1)
+	mask := allTrue()
+	mask[3] = false
+	sample := fullVector(3)
+	sample[3] = math.NaN()
+	if err := tr.AddMasked(sample, mask, math.NaN(), false); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Masked() {
+		t.Fatal("trace not masked after AddMasked")
+	}
+	// Backfilled prefix is all genuine.
+	for m := 0; m < Count; m++ {
+		for i := 0; i < 2; i++ {
+			if !tr.Valid[m][i] {
+				t.Fatalf("backfilled mask false at metric %d tick %d", m, i)
+			}
+		}
+	}
+	if tr.Valid[3][2] {
+		t.Fatal("masked entry recorded as valid")
+	}
+	if tr.CPIValid[2] {
+		t.Fatal("masked CPI recorded as valid")
+	}
+	if !tr.CPIValid[0] || !tr.CPIValid[1] {
+		t.Fatal("backfilled CPI mask not true")
+	}
+	// Subsequent plain Adds keep masks parallel.
+	tr.Add(fullVector(4), 1)
+	if len(tr.Valid[0]) != tr.Ticks || len(tr.CPIValid) != tr.Ticks {
+		t.Fatalf("mask length %d/%d diverged from ticks %d", len(tr.Valid[0]), len(tr.CPIValid), tr.Ticks)
+	}
+	if !tr.Valid[3][3] {
+		t.Fatal("plain Add after masking should append true")
+	}
+	wantFrac := float64(4*Count-1) / float64(4*Count)
+	if f := tr.ValidFraction(); math.Abs(f-wantFrac) > 1e-12 {
+		t.Fatalf("ValidFraction = %v, want %v", f, wantFrac)
+	}
+}
+
+func TestSliceCarriesMasks(t *testing.T) {
+	tr := NewTrace("10.0.0.2", "grep")
+	for i := 0; i < 6; i++ {
+		mask := allTrue()
+		if i == 4 {
+			mask[7] = false
+		}
+		if err := tr.AddMasked(fullVector(float64(i)), mask, 1, i != 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	win, err := tr.Slice(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !win.Masked() || len(win.Valid[7]) != 3 {
+		t.Fatal("slice dropped masks")
+	}
+	if win.Valid[7][1] {
+		t.Fatal("slice mask misaligned: tick 4 should be invalid at offset 1")
+	}
+	if win.CPIValid[1] {
+		t.Fatal("slice CPI mask misaligned")
+	}
+	// Unmasked slice stays unmasked.
+	plain := NewTrace("x", "y")
+	plain.Add(fullVector(1), 1)
+	plain.Add(fullVector(2), 1)
+	w2, _ := plain.Slice(0, 1)
+	if w2.Masked() {
+		t.Fatal("unmasked slice grew masks")
+	}
+}

@@ -244,12 +244,22 @@ func (c *Collector) Collect(n *cluster.Node) []float64 {
 
 // Trace accumulates per-tick metric vectors for one node over one run:
 // Trace[m][t] is metric m at tick t.
+//
+// A trace from a degraded telemetry path additionally carries validity
+// masks: Valid[m][t] is false when metric m at tick t is not a real
+// observation (dropped, corrupt, or synthesised by a gap-filling policy),
+// and CPIValid[t] likewise for the CPI series. Nil masks mean every sample
+// is a genuine observation — the clean-collector fast path allocates
+// nothing.
 type Trace struct {
 	NodeIP  string
 	Rows    [][]float64 // Count rows
 	CPI     []float64   // the parallel CPI series
 	Ticks   int
 	Context string // workload type of the run
+
+	Valid    [][]bool // nil, or Count rows parallel to Rows
+	CPIValid []bool   // nil, or parallel to CPI
 }
 
 // NewTrace returns an empty trace for a node.
@@ -271,7 +281,87 @@ func (t *Trace) Add(sample []float64, cpiValue float64) error {
 	}
 	t.CPI = append(t.CPI, cpiValue)
 	t.Ticks++
+	if t.Valid != nil {
+		for m := range t.Valid {
+			t.Valid[m] = append(t.Valid[m], true)
+		}
+		t.CPIValid = append(t.CPIValid, true)
+	}
 	return nil
+}
+
+// AddMasked appends one sampled vector with its validity mask. valid[m]
+// false marks metric m's entry as not a genuine observation; cpiValid
+// likewise for the CPI reading. The first masked Add materialises the masks
+// retroactively (all earlier samples were genuine).
+func (t *Trace) AddMasked(sample []float64, valid []bool, cpiValue float64, cpiValid bool) error {
+	if len(sample) != Count {
+		return fmt.Errorf("metrics: sample has %d entries, want %d", len(sample), Count)
+	}
+	if len(valid) != Count {
+		return fmt.Errorf("metrics: mask has %d entries, want %d", len(valid), Count)
+	}
+	t.materialiseMasks()
+	for m, v := range sample {
+		t.Rows[m] = append(t.Rows[m], v)
+		t.Valid[m] = append(t.Valid[m], valid[m])
+	}
+	t.CPI = append(t.CPI, cpiValue)
+	t.CPIValid = append(t.CPIValid, cpiValid)
+	t.Ticks++
+	return nil
+}
+
+// materialiseMasks backfills all-true masks covering the samples recorded
+// before the first masked observation arrived.
+func (t *Trace) materialiseMasks() {
+	if t.Valid != nil {
+		return
+	}
+	t.Valid = make([][]bool, Count)
+	for m := range t.Valid {
+		t.Valid[m] = make([]bool, t.Ticks)
+		for i := range t.Valid[m] {
+			t.Valid[m][i] = true
+		}
+	}
+	t.CPIValid = make([]bool, t.Ticks)
+	for i := range t.CPIValid {
+		t.CPIValid[i] = true
+	}
+}
+
+// Masked reports whether the trace carries validity masks.
+func (t *Trace) Masked() bool { return t.Valid != nil }
+
+// MetricValid returns the validity mask of metric m, or nil when the whole
+// trace is genuine.
+func (t *Trace) MetricValid(m int) []bool {
+	if t.Valid == nil {
+		return nil
+	}
+	return t.Valid[m]
+}
+
+// ValidFraction returns the fraction of metric samples (across all rows)
+// that are genuine observations; 1 for an unmasked trace.
+func (t *Trace) ValidFraction() float64 {
+	if t.Valid == nil {
+		return 1
+	}
+	total, ok := 0, 0
+	for m := range t.Valid {
+		for _, v := range t.Valid[m] {
+			total++
+			if v {
+				ok++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
 }
 
 // Metric returns the series of metric m.
@@ -291,5 +381,12 @@ func (t *Trace) Slice(lo, hi int) (*Trace, error) {
 	}
 	out.CPI = append([]float64(nil), t.CPI[lo:hi]...)
 	out.Ticks = hi - lo
+	if t.Valid != nil {
+		out.Valid = make([][]bool, Count)
+		for m := range t.Valid {
+			out.Valid[m] = append([]bool(nil), t.Valid[m][lo:hi]...)
+		}
+		out.CPIValid = append([]bool(nil), t.CPIValid[lo:hi]...)
+	}
 	return out, nil
 }

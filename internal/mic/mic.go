@@ -35,6 +35,13 @@ import (
 // ErrTooFewSamples is returned when fewer than MinSamples points are given.
 var ErrTooFewSamples = errors.New("mic: too few samples")
 
+// ErrNonFinite is returned when the sample contains NaN or ±Inf values.
+// Sorting and equipartitioning are undefined over NaN (it is unordered), so
+// rather than returning a grid-dependent garbage score the computation
+// refuses the input; MIC maps this to the 0 sentinel, the same score the
+// paper assigns to a missing association pair.
+var ErrNonFinite = errors.New("mic: non-finite sample value")
+
 // MinSamples is the smallest sample size MIC accepts. Below this the grid
 // search is meaningless.
 const MinSamples = 8
@@ -88,6 +95,11 @@ func Compute(xs, ys []float64, cfg Config) (Result, error) {
 	n := len(xs)
 	if n < MinSamples {
 		return Result{}, ErrTooFewSamples
+	}
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			return Result{}, ErrNonFinite
+		}
 	}
 	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
 		cfg.Alpha = alphaFor(n)

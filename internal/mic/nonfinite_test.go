@@ -1,0 +1,44 @@
+package mic
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestComputeNonFinite(t *testing.T) {
+	xs := make([]float64, 32)
+	ys := make([]float64, 32)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i) * 2
+	}
+	cases := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, bad := range cases {
+		corrupted := append([]float64(nil), ys...)
+		corrupted[7] = bad
+		if _, err := Compute(xs, corrupted, DefaultConfig()); !errors.Is(err, ErrNonFinite) {
+			t.Fatalf("Compute with %v in ys: err = %v, want ErrNonFinite", bad, err)
+		}
+		if _, err := Compute(corrupted, xs, DefaultConfig()); !errors.Is(err, ErrNonFinite) {
+			t.Fatalf("Compute with %v in xs: err = %v, want ErrNonFinite", bad, err)
+		}
+	}
+}
+
+func TestMICNonFiniteSentinel(t *testing.T) {
+	xs := make([]float64, 32)
+	ys := make([]float64, 32)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i)
+	}
+	ys[3] = math.NaN()
+	if got := MIC(xs, ys); got != 0 {
+		t.Fatalf("MIC over NaN input = %v, want the 0 sentinel", got)
+	}
+	// A NaN score must never escape MIC regardless of input.
+	if got := MIC(xs, xs); math.IsNaN(got) {
+		t.Fatal("MIC returned NaN on clean input")
+	}
+}

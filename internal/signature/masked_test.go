@@ -1,0 +1,90 @@
+package signature
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaskedSimilarityRestricts(t *testing.T) {
+	a := Tuple{true, false, true, false}
+	b := Tuple{true, true, false, false}
+	// Full Jaccard: both=1, either=3 → 1/3.
+	full, err := MaskedSimilarity(a, b, nil, Jaccard)
+	if err != nil || math.Abs(full-1.0/3) > 1e-12 {
+		t.Fatalf("full similarity = %v, %v", full, err)
+	}
+	// Mask out the disagreeing coordinates 1 and 2 → both=1, either=1 → 1.
+	known := []bool{true, false, false, true}
+	masked, err := MaskedSimilarity(a, b, known, Jaccard)
+	if err != nil || masked != 1 {
+		t.Fatalf("masked similarity = %v, %v, want 1", masked, err)
+	}
+	// Hamming over known coords: coords 0 (equal) and 3 (equal) → 1.
+	h, err := MaskedSimilarity(a, b, known, Hamming)
+	if err != nil || h != 1 {
+		t.Fatalf("masked hamming = %v, %v, want 1", h, err)
+	}
+	// Hamming over disagreeing coords only → 0.
+	h2, err := MaskedSimilarity(a, b, []bool{false, true, true, false}, Hamming)
+	if err != nil || h2 != 0 {
+		t.Fatalf("masked hamming = %v, %v, want 0", h2, err)
+	}
+}
+
+func TestMaskedSimilarityNoEvidence(t *testing.T) {
+	a := Tuple{true, true}
+	b := Tuple{true, true}
+	for _, m := range []Measure{Jaccard, Hamming, Cosine} {
+		s, err := MaskedSimilarity(a, b, []bool{false, false}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != 0 {
+			t.Fatalf("%v with zero known coordinates = %v, want 0", m, s)
+		}
+	}
+}
+
+func TestMaskedSimilarityMaskLengthMismatch(t *testing.T) {
+	if _, err := MaskedSimilarity(Tuple{true}, Tuple{true}, []bool{true, false}, Jaccard); err == nil {
+		t.Fatal("mask length mismatch not rejected")
+	}
+}
+
+func TestMatchMasked(t *testing.T) {
+	var db DB
+	db.Add(Entry{Tuple: Tuple{true, true, false}, Problem: "cpu-hog", IP: "a", Workload: "wc"})
+	db.Add(Entry{Tuple: Tuple{false, true, true}, Problem: "mem-hog", IP: "a", Workload: "wc"})
+	observed := Tuple{true, true, true}
+	// Unmasked: both match with Jaccard 2/3.
+	known := []bool{true, true, false}
+	// Masked to the first two coords: cpu-hog matches 2/2 = 1,
+	// mem-hog matches 1/2.
+	ms, err := db.MatchMasked(observed, known, "a", "wc", Jaccard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].Problem != "cpu-hog" || ms[0].Score != 1 {
+		t.Fatalf("matches = %+v", ms)
+	}
+	if math.Abs(ms[1].Score-0.5) > 1e-12 {
+		t.Fatalf("mem-hog score = %v, want 0.5", ms[1].Score)
+	}
+	// Nil mask reduces to Match.
+	plain, err := db.Match(observed, "a", "wc", Jaccard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nilMasked, err := db.MatchMasked(observed, nil, "a", "wc", Jaccard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(nilMasked) {
+		t.Fatal("nil-mask MatchMasked diverges from Match")
+	}
+	for i := range plain {
+		if plain[i].Score != nilMasked[i].Score || plain[i].Problem != nilMasked[i].Problem {
+			t.Fatalf("diverges at %d: %+v vs %+v", i, plain[i], nilMasked[i])
+		}
+	}
+}

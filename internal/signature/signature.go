@@ -88,11 +88,28 @@ func (m Measure) String() string {
 // Similarity computes the chosen similarity of two equal-length tuples in
 // [0, 1]. Two all-zero tuples are fully similar under every measure.
 func Similarity(a, b Tuple, m Measure) (float64, error) {
+	return MaskedSimilarity(a, b, nil, m)
+}
+
+// MaskedSimilarity computes similarity restricted to the coordinates whose
+// invariants were checkable under the observed window: known[i] false
+// excludes coordinate i from the comparison entirely (an unknown invariant
+// is neither a match nor a mismatch). A nil mask compares every coordinate.
+// When no coordinate is known there is no evidence at all, and the
+// similarity is 0 regardless of measure.
+func MaskedSimilarity(a, b Tuple, known []bool, m Measure) (float64, error) {
 	if len(a) != len(b) {
 		return 0, fmt.Errorf("signature: tuple lengths %d and %d differ", len(a), len(b))
 	}
-	var both, either, equal, onesA, onesB int
+	if known != nil && len(known) != len(a) {
+		return 0, fmt.Errorf("signature: mask length %d for tuples of length %d", len(known), len(a))
+	}
+	var both, either, equal, onesA, onesB, compared int
 	for i := range a {
+		if known != nil && !known[i] {
+			continue
+		}
+		compared++
 		switch {
 		case a[i] && b[i]:
 			both++
@@ -110,6 +127,9 @@ func Similarity(a, b Tuple, m Measure) (float64, error) {
 			onesB++
 		}
 	}
+	if known != nil && compared == 0 {
+		return 0, nil
+	}
 	switch m {
 	case Jaccard:
 		if either == 0 {
@@ -117,10 +137,10 @@ func Similarity(a, b Tuple, m Measure) (float64, error) {
 		}
 		return float64(both) / float64(either), nil
 	case Hamming:
-		if len(a) == 0 {
+		if compared == 0 {
 			return 1, nil
 		}
-		return float64(equal) / float64(len(a)), nil
+		return float64(equal) / float64(compared), nil
 	case Cosine:
 		if onesA == 0 || onesB == 0 {
 			if onesA == onesB {
@@ -183,6 +203,13 @@ func (db *DB) Entries() []Entry {
 // (the no-operation-context ablation passes both empty). Results are sorted
 // by descending score, ties broken by problem name for determinism.
 func (db *DB) Match(tuple Tuple, ip, workloadType string, measure Measure, topK int) ([]Match, error) {
+	return db.MatchMasked(tuple, nil, ip, workloadType, measure, topK)
+}
+
+// MatchMasked is Match under a degraded telemetry window: similarity is
+// computed only over the coordinates whose invariants were checkable
+// (known[i] true). A nil mask compares every coordinate.
+func (db *DB) MatchMasked(tuple Tuple, known []bool, ip, workloadType string, measure Measure, topK int) ([]Match, error) {
 	var out []Match
 	scoped := 0
 	for _, e := range db.entries {
@@ -198,7 +225,7 @@ func (db *DB) Match(tuple Tuple, ip, workloadType string, measure Measure, topK 
 			// than fail the whole diagnosis.
 			continue
 		}
-		s, err := Similarity(tuple, e.Tuple, measure)
+		s, err := MaskedSimilarity(tuple, e.Tuple, known, measure)
 		if err != nil {
 			return nil, err
 		}

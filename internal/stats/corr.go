@@ -17,6 +17,9 @@ func Pearson(xs, ys []float64) (float64, error) {
 	if len(xs) < 2 {
 		return 0, fmt.Errorf("stats: pearson needs >= 2 samples, got %d", len(xs))
 	}
+	if !AllFinite(xs) || !AllFinite(ys) {
+		return 0, ErrNonFinite
+	}
 	mx := MustMean(xs)
 	my := MustMean(ys)
 	var sxy, sxx, syy float64
@@ -42,6 +45,9 @@ func Spearman(xs, ys []float64) (float64, error) {
 	}
 	if len(xs) < 2 {
 		return 0, fmt.Errorf("stats: spearman needs >= 2 samples, got %d", len(xs))
+	}
+	if !AllFinite(xs) || !AllFinite(ys) {
+		return 0, ErrNonFinite
 	}
 	return Pearson(Ranks(xs), Ranks(ys))
 }

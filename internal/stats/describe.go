@@ -22,6 +22,38 @@ var ErrEmpty = errors.New("stats: empty sample")
 // ErrLengthMismatch is returned when paired samples differ in length.
 var ErrLengthMismatch = errors.New("stats: sample length mismatch")
 
+// ErrNonFinite is returned when an input sample contains NaN or ±Inf.
+// Telemetry gaps and corrupt collector readings surface as non-finite
+// values; statistics over them are undefined, and returning this sentinel
+// keeps a single bad sample from silently poisoning invariant scores and
+// detection thresholds downstream.
+var ErrNonFinite = errors.New("stats: non-finite sample value")
+
+// AllFinite reports whether every element of xs is finite (no NaN, no ±Inf).
+func AllFinite(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// DropNonFinite returns xs with every NaN/±Inf element removed. When xs is
+// already fully finite it is returned as-is (no copy).
+func DropNonFinite(xs []float64) []float64 {
+	if AllFinite(xs) {
+		return xs
+	}
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
 // Sum returns the sum of xs. The sum of an empty slice is 0.
 func Sum(xs []float64) float64 {
 	// Kahan summation keeps long metric traces (tens of thousands of
@@ -245,10 +277,14 @@ type Summary struct {
 	P95    float64
 }
 
-// Describe computes a Summary of xs.
+// Describe computes a Summary of xs. Samples containing NaN/±Inf return
+// ErrNonFinite rather than a Summary full of NaNs.
 func Describe(xs []float64) (Summary, error) {
 	if len(xs) == 0 {
 		return Summary{}, ErrEmpty
+	}
+	if !AllFinite(xs) {
+		return Summary{}, ErrNonFinite
 	}
 	s := Summary{N: len(xs), Mean: MustMean(xs)}
 	if len(xs) >= 2 {

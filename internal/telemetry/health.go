@@ -1,0 +1,82 @@
+package telemetry
+
+import "fmt"
+
+// Status grades a node's telemetry stream.
+type Status int
+
+const (
+	// Healthy: recent loss below the degraded threshold.
+	Healthy Status = iota
+	// Degraded: the stream is arriving but losing or delaying enough
+	// samples that diagnosis confidence is reduced.
+	Degraded
+	// Down: the agent is in a full outage (no batch arriving at all).
+	Down
+)
+
+func (s Status) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Thresholds on the loss EWMA that move a node between grades. The EWMA
+// weighs a batch's loss fraction with ewmaAlpha, so one bad batch degrades
+// a node quickly while recovery takes a few clean batches — matching how an
+// operator wants flapping reported.
+const (
+	ewmaAlpha          = 0.3
+	degradedLossEWMA   = 0.05
+	consecutiveDownMin = 2
+)
+
+// NodeHealth is the health record of one node's telemetry stream.
+type NodeHealth struct {
+	IP     string
+	Status Status
+	// LossEWMA is the exponentially weighted recent loss fraction
+	// (unrecovered readings per batch).
+	LossEWMA float64
+	// Batches is the number of tick batches ingested (including outages).
+	Batches int
+	// Dropped counts readings lost at source (before retries); Recovered
+	// counts those the retry loop got back; Corrupt counts corrupt
+	// readings (caught or slipped); Late counts late batches; OutageTicks
+	// counts ticks inside an agent outage.
+	Dropped, Recovered, Corrupt, Late, OutageTicks int
+	// Retries is the total retry attempts; RetryLatencyMS the total
+	// simulated backoff latency they cost.
+	Retries        int
+	RetryLatencyMS float64
+
+	consecutiveOutages int
+}
+
+// note updates the health grade after one batch whose loss fraction (of
+// readings that stayed unrecovered) is lossFrac; down marks a full outage.
+func (h *NodeHealth) note(lossFrac float64, down bool) {
+	h.Batches++
+	h.LossEWMA = ewmaAlpha*lossFrac + (1-ewmaAlpha)*h.LossEWMA
+	if down {
+		h.consecutiveOutages++
+		h.OutageTicks++
+	} else {
+		h.consecutiveOutages = 0
+	}
+	switch {
+	case h.consecutiveOutages >= consecutiveDownMin:
+		h.Status = Down
+	case h.LossEWMA > degradedLossEWMA:
+		h.Status = Degraded
+	default:
+		h.Status = Healthy
+	}
+}

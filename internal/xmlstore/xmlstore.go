@@ -12,9 +12,11 @@ package xmlstore
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"invarnetx/internal/arima"
 	"invarnetx/internal/detect"
@@ -22,10 +24,29 @@ import (
 	"invarnetx/internal/signature"
 )
 
+// FormatVersion is the store format written by this build. Files carry it
+// as a version attribute on the root element; files written before
+// versioning carry none and decode as legacy (version 0).
+const FormatVersion = 1
+
+// ErrVersion marks a file written by a newer build than this one — the
+// caller must not guess at its contents.
+var ErrVersion = errors.New("xmlstore: unsupported store format version")
+
+// checkVersion accepts the legacy unversioned format (0) and every version
+// up to FormatVersion.
+func checkVersion(v int) error {
+	if v < 0 || v > FormatVersion {
+		return fmt.Errorf("%w: %d (this build reads <= %d)", ErrVersion, v, FormatVersion)
+	}
+	return nil
+}
+
 // ModelFile is the persisted performance model: the paper's five-tuple plus
 // everything needed to resume online detection.
 type ModelFile struct {
 	XMLName xml.Name `xml:"performance-model"`
+	Version int      `xml:"version,attr"`
 	P       int      `xml:"p"`
 	D       int      `xml:"d"`
 	Q       int      `xml:"q"`
@@ -45,7 +66,8 @@ type ModelFile struct {
 // EncodeModel converts a trained detector into its persistable form.
 func EncodeModel(d *detect.Detector, ip, workloadType string) ModelFile {
 	return ModelFile{
-		P: d.Model.Order.P, D: d.Model.Order.D, Q: d.Model.Order.Q,
+		Version: FormatVersion,
+		P:       d.Model.Order.P, D: d.Model.Order.D, Q: d.Model.Order.Q,
 		IP: ip, Type: workloadType,
 		AR: d.Model.AR, MA: d.Model.MA,
 		Intercept: d.Model.Intercept, Sigma2: d.Model.Sigma2,
@@ -56,6 +78,9 @@ func EncodeModel(d *detect.Detector, ip, workloadType string) ModelFile {
 
 // Decode rebuilds the detector from its persisted form.
 func (f ModelFile) Decode() (*detect.Detector, error) {
+	if err := checkVersion(f.Version); err != nil {
+		return nil, err
+	}
 	var rule detect.Rule
 	switch f.Rule {
 	case detect.BetaMax.String():
@@ -99,6 +124,7 @@ type invariantPair struct {
 // (I, ip, type).
 type InvariantFile struct {
 	XMLName xml.Name        `xml:"invariants"`
+	Version int             `xml:"version,attr"`
 	IP      string          `xml:"ip"`
 	Type    string          `xml:"type"`
 	Metrics int             `xml:"metrics"`
@@ -107,7 +133,7 @@ type InvariantFile struct {
 
 // EncodeInvariants converts an invariant set into its persistable form.
 func EncodeInvariants(s *invariant.Set, ip, workloadType string) InvariantFile {
-	f := InvariantFile{IP: ip, Type: workloadType, Metrics: s.M}
+	f := InvariantFile{Version: FormatVersion, IP: ip, Type: workloadType, Metrics: s.M}
 	for _, p := range s.SortedPairs() {
 		f.Pairs = append(f.Pairs, invariantPair{I: p.I, J: p.J, Value: s.Base[p]})
 	}
@@ -116,6 +142,9 @@ func EncodeInvariants(s *invariant.Set, ip, workloadType string) InvariantFile {
 
 // Decode rebuilds the invariant set.
 func (f InvariantFile) Decode() (*invariant.Set, error) {
+	if err := checkVersion(f.Version); err != nil {
+		return nil, err
+	}
 	if f.Metrics < 2 {
 		return nil, fmt.Errorf("xmlstore: invariant file with %d metrics", f.Metrics)
 	}
@@ -140,12 +169,13 @@ type SignatureEntry struct {
 // SignatureFile is the persisted signature database.
 type SignatureFile struct {
 	XMLName xml.Name         `xml:"signature-database"`
+	Version int              `xml:"version,attr"`
 	Entries []SignatureEntry `xml:"signature"`
 }
 
 // EncodeSignatures converts a signature database into its persistable form.
 func EncodeSignatures(db *signature.DB) SignatureFile {
-	var f SignatureFile
+	f := SignatureFile{Version: FormatVersion}
 	for _, e := range db.Entries() {
 		f.Entries = append(f.Entries, SignatureEntry{
 			Tuple: e.Tuple.String(), Problem: e.Problem, IP: e.IP, Type: e.Workload,
@@ -156,6 +186,9 @@ func EncodeSignatures(db *signature.DB) SignatureFile {
 
 // Decode rebuilds the signature database.
 func (f SignatureFile) Decode() (*signature.DB, error) {
+	if err := checkVersion(f.Version); err != nil {
+		return nil, err
+	}
 	var db signature.DB
 	for i, e := range f.Entries {
 		t, err := signature.ParseTuple(e.Tuple)
@@ -186,17 +219,43 @@ func Load(r io.Reader, v any) error {
 	return xml.NewDecoder(r).Decode(v)
 }
 
-// SaveFile writes v as XML to path (0644, truncating).
+// SaveFile writes v as XML to path atomically: the document is written and
+// fsynced to a unique temporary file in the same directory, then renamed
+// over path. A crash mid-write leaves either the old complete file or at
+// worst a stray temporary — never a truncated store. Concurrent savers of
+// the same path each rename a complete file; the last rename wins.
 func SaveFile(path string, v any) error {
-	f, err := os.Create(path)
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := Save(f, v); err != nil {
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := Save(tmp, v); err != nil {
 		return err
 	}
-	return f.Close()
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil // the deferred cleanup no longer owns it
+	if err := os.Chmod(name, 0o644); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
 }
 
 // LoadFile parses the XML file at path into v.

@@ -38,7 +38,7 @@ func TestModelRoundTrip(t *testing.T) {
 	if err := Save(&buf, f); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "<performance-model>") {
+	if !strings.Contains(buf.String(), "<performance-model version=\"1\">") {
 		t.Errorf("missing root element:\n%s", buf.String())
 	}
 	var back ModelFile
