@@ -3,15 +3,23 @@
 #   make test   — tier 1: build everything, run the full unit suite
 #   make race   — tier 2: vet + the full suite under the race detector
 #   make check  — both tiers
+#   make bench  — training-engine micro-benchmarks at fixed iteration
+#                 counts, written as a comparable JSON baseline
 #
 # The race tier exists because the robustness layer is concurrent by
 # design (supervised monitor goroutines, parallel association workers,
 # concurrent SaveTo): a data race there is a correctness bug, not a
 # performance detail.
+#
+# The bench tier pins -benchtime to a fixed iteration count so ns/op and
+# allocs/op are averaged over the same work on every run; benchjson strips
+# the -GOMAXPROCS suffix and sorts by name, so baselines diff cleanly
+# across commits (benchmarks/baseline.json).
 
 GO ?= go
+BENCH_ITERS ?= 200x
 
-.PHONY: build test vet race check
+.PHONY: build test vet race check bench
 
 build:
 	$(GO) build ./...
@@ -26,3 +34,9 @@ race: vet
 	$(GO) test -race ./...
 
 check: test race
+
+bench: build
+	@mkdir -p benchmarks
+	$(GO) test -run '^$$' -bench 'BenchmarkMIC$$|BenchmarkComputeMatrix|BenchmarkARXAssociation' \
+		-benchmem -benchtime $(BENCH_ITERS) . | $(GO) run ./cmd/benchjson > benchmarks/baseline.json
+	@cat benchmarks/baseline.json

@@ -1,0 +1,37 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// baseline on stdout, so successive `make bench` runs produce comparable
+// artefacts (benchmarks/baseline.json) that diff cleanly across commits.
+//
+//	go test -bench 'MIC|ComputeMatrix' -benchmem -benchtime 200x . | benchjson > benchmarks/baseline.json
+//
+// Lines that are not benchmark results (goos/pkg headers, PASS, logs) are
+// ignored. Fixed iteration counts (-benchtime Nx) make ns/op figures
+// comparable run-to-run; allocation counts are deterministic regardless.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"invarnetx/internal/benchparse"
+)
+
+func main() {
+	results, err := benchparse.Parse(bufio.NewReader(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

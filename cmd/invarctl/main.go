@@ -165,6 +165,7 @@ func cmdTrain(args []string) error {
 		}
 		fmt.Printf("  %s: %s, threshold %.4f, %d invariants, %s\n", ctx, d.Model.Order, d.Upper, set.Len(), white)
 	}
+	printCacheStats(sys)
 	return nil
 }
 
@@ -283,6 +284,7 @@ func cmdDiagnose(args []string) error {
 	if err != nil {
 		return err
 	}
+	printCacheStats(sys)
 	fmt.Printf("violation tuple: %d of %d invariants violated\n", diag.Tuple.Ones(), len(diag.Tuple))
 	if diag.Coverage < 1 {
 		fmt.Printf("degraded diagnosis: %d invariants unknown (coverage %.0f%%, confidence %.2f)\n",
@@ -356,6 +358,17 @@ func cmdFaults() error {
 		fmt.Printf("  %-10s %s\n", k, faults.Description(k))
 	}
 	return nil
+}
+
+// printCacheStats surfaces the association-matrix cache counters so
+// operators can see how much MIC recomputation training and diagnosis
+// avoided (silent when no matrix work ran).
+func printCacheStats(sys *core.System) {
+	st := sys.AssocCacheStats()
+	if st.Hits+st.Misses == 0 {
+		return
+	}
+	fmt.Printf("assoc cache: %d hits / %d misses (%d entries)\n", st.Hits, st.Misses, st.Entries)
 }
 
 // percentile95 avoids importing stats just for one call.

@@ -1,0 +1,94 @@
+// Package benchparse parses `go test -bench` text output into structured
+// results for the `make bench` JSON baseline.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. NsPerOp, BytesPerOp and AllocsPerOp mirror
+// the standard -benchmem columns; Metrics holds any custom ReportMetric
+// columns (unit → value).
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Parse reads go-test benchmark output and returns its result lines in
+// name order. Non-benchmark lines are skipped; a malformed benchmark line
+// (name without iteration count) is an error.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// parseLine handles one result line, e.g.
+//
+//	BenchmarkMIC-8  200  32580 ns/op  8720 B/op  63 allocs/op  0.97 corr
+//
+// The name keeps its -GOMAXPROCS suffix stripped so baselines from machines
+// with different core counts stay diffable.
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, fmt.Errorf("benchparse: short benchmark line %q", line)
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("benchparse: bad iteration count in %q: %v", line, err)
+	}
+	res := Result{Name: name, Iterations: iters}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("benchparse: bad value %q in %q", fields[i], line)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+		case "B/op":
+			res.BytesPerOp = int64(val)
+		case "allocs/op":
+			res.AllocsPerOp = int64(val)
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,83 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: invarnetx
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkMIC-8           	     200	     32580 ns/op	    8720 B/op	      63 allocs/op
+BenchmarkComputeMatrix/assoc-func-8         	     200	  19143183 ns/op	 3446900 B/op	   19219 allocs/op
+BenchmarkComputeMatrix/batch-8              	     200	  12751805 ns/op	   81288 B/op	     527 allocs/op
+BenchmarkFig4CPIvsTime/wordcount-8          	       3	 401234567 ns/op	         0.970 corr	         1.000 monotone
+PASS
+ok  	invarnetx	6.429s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	m, ok := byName["BenchmarkMIC"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix should be stripped from the name")
+	}
+	if m.Iterations != 200 || m.NsPerOp != 32580 || m.BytesPerOp != 8720 || m.AllocsPerOp != 63 {
+		t.Errorf("BenchmarkMIC parsed as %+v", m)
+	}
+	batch := byName["BenchmarkComputeMatrix/batch"]
+	if batch.AllocsPerOp != 527 {
+		t.Errorf("sub-benchmark allocs = %d, want 527", batch.AllocsPerOp)
+	}
+	fig := byName["BenchmarkFig4CPIvsTime/wordcount"]
+	if fig.Metrics["corr"] != 0.97 || fig.Metrics["monotone"] != 1 {
+		t.Errorf("custom metrics = %v", fig.Metrics)
+	}
+	// Sorted by name.
+	for i := 1; i < len(results); i++ {
+		if results[i-1].Name > results[i].Name {
+			t.Errorf("results not sorted: %q before %q", results[i-1].Name, results[i].Name)
+		}
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	results, err := Parse(strings.NewReader("PASS\nok x 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("noise-only input parsed to %v", results)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkBroken-8 notanumber ns/op\n")); err == nil {
+		t.Error("malformed iteration count should error")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkBare\n")); err == nil {
+		t.Error("benchmark name without fields should error")
+	}
+}
+
+func TestParseKeepsNameWithNonNumericSuffix(t *testing.T) {
+	// A trailing -word is part of the name, not a GOMAXPROCS suffix.
+	results, err := Parse(strings.NewReader("BenchmarkX/sub-case-8 	 10 	 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Name != "BenchmarkX/sub-case" {
+		t.Errorf("name = %q, want BenchmarkX/sub-case", results[0].Name)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"invarnetx/internal/invariant"
+	"invarnetx/internal/mic"
+)
+
+// DefaultAssocCacheSize bounds the association-matrix cache when
+// Config.AssocCacheSize is zero. At 26 metrics a matrix is ~2.6 KB, so the
+// default worst case stays near 10 MB.
+const DefaultAssocCacheSize = 4096
+
+// CacheStats reports association-cache effectiveness. Without operation
+// context the training pool is recomputed on every TrainInvariants call, so
+// hit counts there directly measure avoided MIC work.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// assocKey identifies a cached matrix: the storage context plus a
+// fingerprint of the exact window samples. Keying by context as well as
+// content keeps an (astronomically unlikely) fingerprint collision from
+// leaking a matrix across workloads.
+type assocKey struct {
+	ctx Context
+	fp  uint64
+}
+
+// fingerprintRows hashes the window's shape and raw float64 bit patterns
+// with FNV-1a. Associations are pure functions of the samples, so equal
+// fingerprints (same shape, same bits) mean an equal matrix.
+func fingerprintRows(rows [][]float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(len(rows)))
+	for _, r := range rows {
+		mix(uint64(len(r)))
+		for _, v := range r {
+			mix(math.Float64bits(v))
+		}
+	}
+	return h
+}
+
+// assocCache memoises association matrices per (context, window) key with
+// FIFO eviction. Cached matrices are shared across callers and must never
+// be mutated — every consumer (Select, Violations) only reads.
+type assocCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[assocKey]*invariant.Matrix
+	order   []assocKey
+	hits    int64
+	misses  int64
+}
+
+// newAssocCache sizes a cache: size 0 selects the default bound, negative
+// disables caching entirely (returns nil; callers treat nil as a miss-only
+// pass-through).
+func newAssocCache(size int) *assocCache {
+	if size < 0 {
+		return nil
+	}
+	if size == 0 {
+		size = DefaultAssocCacheSize
+	}
+	return &assocCache{
+		max:     size,
+		entries: make(map[assocKey]*invariant.Matrix),
+	}
+}
+
+func (c *assocCache) get(k assocKey) (*invariant.Matrix, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return m, ok
+}
+
+func (c *assocCache) put(k assocKey, m *invariant.Matrix) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[k]; exists {
+		c.entries[k] = m
+		return
+	}
+	for len(c.entries) >= c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[k] = m
+	c.order = append(c.order, k)
+}
+
+func (c *assocCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}
+
+// BatchAssociation prepares a whole window of metric rows at once and
+// returns a pair scorer over them. Batch preparation lets an association
+// measure hoist per-metric work (sorting, partitioning for MIC) out of the
+// m(m−1)/2 pair loop.
+type BatchAssociation func(rows [][]float64) (invariant.PairScorer, error)
+
+// MICBatch returns the batch form of the MIC association: metrics are
+// prepared once via mic.NewBatch and pairs scored with pooled scratch
+// buffers. Wired automatically by New when Assoc is the stock mic.MIC.
+func MICBatch(cfg mic.Config) BatchAssociation {
+	return func(rows [][]float64) (invariant.PairScorer, error) {
+		return mic.NewBatch(rows, cfg)
+	}
+}
+
+// BatchFor returns the batch form of assoc when one exists — currently only
+// the stock mic.MIC — or nil when the measure must run per pair. It is the
+// same gate New applies when auto-wiring Config.BatchAssoc.
+func BatchFor(assoc invariant.AssociationFunc) BatchAssociation {
+	if isStockMIC(assoc) {
+		return MICBatch(mic.DefaultConfig())
+	}
+	return nil
+}
+
+// computeMatrix builds one window's association matrix, preferring the
+// batch path when configured. Structural batch errors (ragged rows, empty
+// window) fall through to the generic path so error reporting stays
+// identical to the uncached pipeline.
+func (s *System) computeMatrix(rows [][]float64) (*invariant.Matrix, error) {
+	if s.cfg.BatchAssoc != nil {
+		if scorer, err := s.cfg.BatchAssoc(rows); err == nil {
+			return invariant.ComputeMatrixScored(len(rows), scorer)
+		}
+	}
+	return invariant.ComputeMatrix(rows, s.cfg.Assoc)
+}
+
+// assocMatrix is computeMatrix behind the context-keyed cache. Training
+// without operation context recomputes every pooled window per call; the
+// cache turns those recomputations into lookups.
+func (s *System) assocMatrix(key Context, rows [][]float64) (*invariant.Matrix, error) {
+	if s.cache == nil {
+		return s.computeMatrix(rows)
+	}
+	k := assocKey{ctx: key, fp: fingerprintRows(rows)}
+	if m, ok := s.cache.get(k); ok {
+		return m, nil
+	}
+	m, err := s.computeMatrix(rows)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.put(k, m)
+	return m, nil
+}
+
+// AssocCacheStats reports the association cache's hit/miss counters and
+// current size. Zero-valued when caching is disabled.
+func (s *System) AssocCacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.stats()
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"invarnetx/internal/arx"
+	"invarnetx/internal/invariant"
+	"invarnetx/internal/metrics"
+	"invarnetx/internal/mic"
+	"invarnetx/internal/stats"
+)
+
+func TestFingerprintRows(t *testing.T) {
+	a := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	b := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	if fingerprintRows(a) != fingerprintRows(b) {
+		t.Error("identical windows must fingerprint identically")
+	}
+	c := [][]float64{{1, 2, 3}, {4, 5, 6.0000001}}
+	if fingerprintRows(a) == fingerprintRows(c) {
+		t.Error("a changed sample must change the fingerprint")
+	}
+	// Shape must matter, not just the flattened content.
+	d := [][]float64{{1, 2}, {3, 4, 5, 6}}
+	if fingerprintRows(a) == fingerprintRows(d) {
+		t.Error("a reshaped window must change the fingerprint")
+	}
+}
+
+func TestAssocCacheHitsOnRetrain(t *testing.T) {
+	ctx := Context{Workload: "wordcount", IP: "10.0.0.2"}
+	s := New(Config{UseContext: true})
+	rng := stats.NewRNG(700)
+	var runs []*metrics.Trace
+	for i := 0; i < 4; i++ {
+		runs = append(runs, synthTrace(rng.Fork(int64(i)), 60, 8, nil))
+	}
+	if err := s.TrainInvariants(ctx, runs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	st := s.AssocCacheStats()
+	if st.Hits != 0 || st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("after first training: %+v, want 0 hits / 2 misses / 2 entries", st)
+	}
+	// Adding runs recomputes the whole pool; the first two windows must now
+	// come from the cache.
+	if err := s.TrainInvariants(ctx, runs[2:]); err != nil {
+		t.Fatal(err)
+	}
+	st = s.AssocCacheStats()
+	if st.Hits != 2 || st.Misses != 4 || st.Entries != 4 {
+		t.Fatalf("after pooled retraining: %+v, want 2 hits / 4 misses / 4 entries", st)
+	}
+}
+
+func TestAssocCacheInvalidatesOnWindowChange(t *testing.T) {
+	ctx := Context{Workload: "wordcount", IP: "10.0.0.2"}
+	s := trainSystem(t, Config{UseContext: true}, ctx, 701)
+	before := s.AssocCacheStats()
+	ab := synthTrace(stats.NewRNG(702), 40, 8, map[int]bool{0: true})
+	if _, _, err := s.ViolationTuple(ctx, ab); err != nil {
+		t.Fatal(err)
+	}
+	st := s.AssocCacheStats()
+	if st.Misses != before.Misses+1 {
+		t.Fatalf("fresh abnormal window should miss: before %+v, after %+v", before, st)
+	}
+	// The same window again is a hit...
+	if _, _, err := s.ViolationTuple(ctx, ab); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.AssocCacheStats(); got.Hits != st.Hits+1 {
+		t.Fatalf("repeat window should hit: %+v -> %+v", st, got)
+	}
+	// ...until any sample changes.
+	ab.Rows[3][7] += 0.5
+	if _, _, err := s.ViolationTuple(ctx, ab); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.AssocCacheStats(); got.Misses != st.Misses+1 {
+		t.Fatalf("mutated window should miss: %+v -> %+v", st, got)
+	}
+}
+
+func TestAssocCacheKeysByContext(t *testing.T) {
+	s := New(Config{UseContext: true})
+	ctxA := Context{Workload: "wordcount", IP: "10.0.0.2"}
+	ctxB := Context{Workload: "sort", IP: "10.0.0.3"}
+	tr := synthTrace(stats.NewRNG(703), 60, 8, nil)
+	runs := []*metrics.Trace{tr, synthTrace(stats.NewRNG(704), 60, 8, nil)}
+	if err := s.TrainInvariants(ctxA, runs); err != nil {
+		t.Fatal(err)
+	}
+	// Identical windows under a different context must not share entries.
+	if err := s.TrainInvariants(ctxB, runs); err != nil {
+		t.Fatal(err)
+	}
+	st := s.AssocCacheStats()
+	if st.Hits != 0 || st.Entries != 4 {
+		t.Fatalf("contexts must not share cache entries: %+v", st)
+	}
+}
+
+func TestAssocCacheDisabledAndBounded(t *testing.T) {
+	off := New(Config{AssocCacheSize: -1})
+	if off.cache != nil {
+		t.Error("negative AssocCacheSize should disable the cache")
+	}
+	ctx := Context{Workload: "w", IP: "ip"}
+	if err := off.TrainInvariants(ctx, []*metrics.Trace{
+		synthTrace(stats.NewRNG(705), 60, 8, nil),
+		synthTrace(stats.NewRNG(706), 60, 8, nil),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := off.AssocCacheStats(); st != (CacheStats{}) {
+		t.Errorf("disabled cache stats = %+v, want zero", st)
+	}
+
+	small := newAssocCache(2)
+	for i := 0; i < 5; i++ {
+		small.put(assocKey{fp: uint64(i)}, invariant.NewMatrix(2))
+	}
+	if st := small.stats(); st.Entries != 2 {
+		t.Errorf("bounded cache holds %d entries, want 2", st.Entries)
+	}
+	// Oldest evicted first: keys 0..2 gone, 3 and 4 present.
+	if _, ok := small.get(assocKey{fp: 0}); ok {
+		t.Error("oldest entry should have been evicted")
+	}
+	if _, ok := small.get(assocKey{fp: 4}); !ok {
+		t.Error("newest entry should survive eviction")
+	}
+}
+
+func TestBatchAssocAutoWiring(t *testing.T) {
+	if s := New(Config{}); s.cfg.BatchAssoc == nil {
+		t.Error("stock mic.MIC config should auto-wire the batch path")
+	}
+	if s := New(Config{Assoc: mic.MIC}); s.cfg.BatchAssoc == nil {
+		t.Error("explicit mic.MIC should auto-wire the batch path")
+	}
+	if s := New(Config{Assoc: arx.Association}); s.cfg.BatchAssoc != nil {
+		t.Error("a non-MIC measure must not get the MIC batch scorer")
+	}
+	wrapped := func(x, y []float64) float64 { return mic.MIC(x, y) }
+	if s := New(Config{Assoc: wrapped}); s.cfg.BatchAssoc != nil {
+		t.Error("a wrapped MIC is not the stock function; batch must stay off")
+	}
+}
+
+func TestBatchPathMatchesGeneric(t *testing.T) {
+	// The batch-scored pipeline must produce the same invariants and tuples
+	// as the per-pair Assoc pipeline.
+	ctx := Context{Workload: "wordcount", IP: "10.0.0.2"}
+	batched := trainSystem(t, Config{UseContext: true}, ctx, 707)
+	plain := trainSystem(t, Config{UseContext: true, BatchAssoc: nil, AssocCacheSize: -1, Assoc: func(x, y []float64) float64 { return mic.MIC(x, y) }}, ctx, 707)
+	sb, err := batched.Invariants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := plain.Invariants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != sp.Len() {
+		t.Fatalf("batched selected %d invariants, per-pair %d", sb.Len(), sp.Len())
+	}
+	for _, p := range sb.SortedPairs() {
+		if sb.Base[p] != sp.Base[p] {
+			t.Errorf("baseline for %v: batched %v, per-pair %v", p, sb.Base[p], sp.Base[p])
+		}
+	}
+}

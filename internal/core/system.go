@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"reflect"
 	"sync"
 
 	"invarnetx/internal/detect"
@@ -55,6 +56,15 @@ type Config struct {
 	Assoc invariant.AssociationFunc
 	// AssocName labels the measure in reports.
 	AssocName string
+	// BatchAssoc, when set, prepares each window once and scores pairs with
+	// shared preprocessing instead of calling Assoc per pair. New wires
+	// MICBatch automatically when Assoc is the stock mic.MIC; set it
+	// explicitly for a custom measure with a batch form, or leave it nil to
+	// force the per-pair path.
+	BatchAssoc BatchAssociation
+	// AssocCacheSize bounds the per-(context, window) association-matrix
+	// cache: 0 selects DefaultAssocCacheSize, negative disables caching.
+	AssocCacheSize int
 	// Similarity is the tuple-similarity measure for signature retrieval.
 	Similarity signature.Measure
 	// TopK bounds the returned cause list (0 = all).
@@ -81,7 +91,8 @@ func DefaultConfig() Config {
 
 // System is one InvarNet-X deployment.
 type System struct {
-	cfg Config
+	cfg   Config
+	cache *assocCache // nil when AssocCacheSize < 0
 
 	mu         sync.RWMutex
 	detectors  map[Context]*detect.Detector
@@ -124,13 +135,30 @@ func New(cfg Config) *System {
 		cfg.Assoc = def.Assoc
 		cfg.AssocName = def.AssocName
 	}
+	// Auto-wire the batch MIC path only when Assoc is literally the stock
+	// mic.MIC — a custom Assoc (arx, a wrapped MIC) must not be silently
+	// replaced by a scorer computing a different measure.
+	if cfg.BatchAssoc == nil {
+		cfg.BatchAssoc = BatchFor(cfg.Assoc)
+	}
 	return &System{
 		cfg:        cfg,
+		cache:      newAssocCache(cfg.AssocCacheSize),
 		detectors:  make(map[Context]*detect.Detector),
 		invariants: make(map[Context]*invariant.Set),
 		cpiPool:    make(map[Context][][]float64),
 		windowPool: make(map[Context][]*metrics.Trace),
 	}
+}
+
+// isStockMIC reports whether f is exactly mic.MIC. Func values are not
+// comparable in Go; the code-pointer comparison is the standard escape
+// hatch and is only used as a conservative gate for the batch fast path.
+func isStockMIC(f invariant.AssociationFunc) bool {
+	if f == nil {
+		return false
+	}
+	return reflect.ValueOf(f).Pointer() == reflect.ValueOf(invariant.AssociationFunc(mic.MIC)).Pointer()
 }
 
 // Config returns the effective configuration.
@@ -177,9 +205,12 @@ func (s *System) TrainInvariants(ctx Context, runs []*metrics.Trace) error {
 	s.windowPool[key] = append(s.windowPool[key], runs...)
 	pool := s.windowPool[key]
 	s.mu.Unlock()
+	// Without operation context the whole pool is recomputed on every call;
+	// the association cache turns all but the newly added windows into
+	// lookups.
 	mats := make([]*invariant.Matrix, 0, len(pool))
 	for _, run := range pool {
-		m, err := invariant.ComputeMatrix(run.Rows, s.cfg.Assoc)
+		m, err := s.assocMatrix(key, run.Rows)
 		if err != nil {
 			return fmt.Errorf("core: association matrix for %v: %w", ctx, err)
 		}
@@ -234,7 +265,7 @@ func (s *System) ViolationTuple(ctx Context, abnormal *metrics.Trace) (signature
 	if err != nil {
 		return nil, nil, err
 	}
-	mat, err := invariant.ComputeMatrix(abnormal.Rows, s.cfg.Assoc)
+	mat, err := s.assocMatrix(s.key(ctx), abnormal.Rows)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Default thresholds from the paper.
@@ -70,49 +71,127 @@ func (a *Matrix) Set(i, j int, v float64) { a.scores[a.index(i, j)] = v }
 // Pairs returns the number of stored pairs, M(M-1)/2.
 func (a *Matrix) Pairs() int { return len(a.scores) }
 
-// ComputeMatrix builds the association matrix of the given metric rows
-// (rows[m] is the time series of metric m; all rows must share a length)
-// using assoc. This is the paper's "simple but exhaustive pair-wise search".
-func ComputeMatrix(rows [][]float64, assoc AssociationFunc) (*Matrix, error) {
-	m := len(rows)
+// PairScorer scores a metric pair by index. It decouples the matrix fill
+// from how scores are produced: mic.Batch satisfies it structurally (shared
+// per-metric preprocessing), and any closure-backed adapter works for other
+// measures. The invariant package stays free of a mic dependency.
+type PairScorer interface {
+	Score(i, j int) float64
+}
+
+// validateRows checks the metric rows share one length and returns (m, n).
+func validateRows(rows [][]float64) (m, n int, err error) {
+	m = len(rows)
 	if m < 2 {
-		return nil, fmt.Errorf("invariant: need >= 2 metrics, got %d", m)
+		return 0, 0, fmt.Errorf("invariant: need >= 2 metrics, got %d", m)
 	}
-	n := len(rows[0])
+	n = len(rows[0])
 	for i, r := range rows {
 		if len(r) != n {
-			return nil, fmt.Errorf("invariant: metric %d has %d samples, want %d", i, len(r), n)
+			return 0, 0, fmt.Errorf("invariant: metric %d has %d samples, want %d", i, len(r), n)
 		}
 	}
-	a := NewMatrix(m)
-	// The pairwise computations are independent; fan them out across
-	// CPUs. At M=26 metrics this is 325 MIC dynamic programmes per run —
-	// the dominant cost of offline training (Table 1, Invar-C column).
+	return m, n, nil
+}
+
+// rowOffset returns the flat upper-triangle index of pair (i, i+1): row i
+// starts after i*(2m−i−1)/2 earlier pairs. It matches Matrix.index.
+func rowOffset(m, i int) int { return i * (2*m - i - 1) / 2 }
+
+// pairAt inverts the flat upper-triangle index: the pair (i, j) stored at
+// position k. The row solves rowOffset(m,i) <= k < rowOffset(m,i+1); the
+// closed-form root is fixed up with at most a step or two of adjustment to
+// absorb floating-point rounding at large m.
+func pairAt(m, k int) (i, j int) {
+	d := float64((2*m-1)*(2*m-1) - 8*k)
+	i = int((float64(2*m-1) - math.Sqrt(d)) / 2)
+	if i > m-2 {
+		i = m - 2
+	}
+	for i > 0 && rowOffset(m, i) > k {
+		i--
+	}
+	for i < m-2 && rowOffset(m, i+1) <= k {
+		i++
+	}
+	return i, i + 1 + (k - rowOffset(m, i))
+}
+
+// forEachPair runs work(i, j) exactly once for every pair i < j of m
+// metrics, distributing *individual pairs* over a bounded worker pool via a
+// shared atomic counter. Each worker gets a private closure from newWorker
+// so it can hold scratch buffers without synchronisation. Pair granularity
+// matters: the row-sharded split this replaces handed worker w all pairs of
+// row w, so the worker holding row 0 carried m−1 scores while the one
+// holding row m−2 carried a single score, and the pool capped itself at m
+// workers even when pairs outnumbered CPUs. With one usable worker (or one
+// pair) the loop runs serially — no goroutines, bit-identical order.
+func forEachPair(m int, newWorker func() func(i, j int)) {
+	pairs := m * (m - 1) / 2
 	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
+	if workers > pairs {
+		workers = pairs
 	}
-	if workers < 1 {
-		workers = 1
+	if workers <= 1 {
+		work := newWorker()
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				work(i, j)
+			}
+		}
+		return
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	rowCh := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range rowCh {
-				for j := i + 1; j < m; j++ {
-					a.Set(i, j, assoc(rows[i], rows[j]))
+			work := newWorker()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= pairs {
+					return
 				}
+				i, j := pairAt(m, k)
+				work(i, j)
 			}
 		}()
 	}
-	for i := 0; i < m; i++ {
-		rowCh <- i
-	}
-	close(rowCh)
 	wg.Wait()
+}
+
+// ComputeMatrix builds the association matrix of the given metric rows
+// (rows[m] is the time series of metric m; all rows must share a length)
+// using assoc. This is the paper's "simple but exhaustive pair-wise search".
+// The pairwise computations are independent; at M=26 metrics this is 325
+// MIC dynamic programmes per run — the dominant cost of offline training
+// (Table 1, Invar-C column) — so they are fanned out pair-by-pair.
+func ComputeMatrix(rows [][]float64, assoc AssociationFunc) (*Matrix, error) {
+	m, _, err := validateRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	a := NewMatrix(m)
+	forEachPair(m, func() func(i, j int) {
+		return func(i, j int) { a.Set(i, j, assoc(rows[i], rows[j])) }
+	})
+	return a, nil
+}
+
+// ComputeMatrixScored builds the association matrix from a pair scorer over
+// m metrics — typically a mic.Batch, whose shared per-metric preprocessing
+// makes each Score call skip the sorting and partitioning work that an
+// AssociationFunc repeats on every call. Scheduling is identical to
+// ComputeMatrix: individual pairs over a bounded worker pool.
+func ComputeMatrixScored(m int, scorer PairScorer) (*Matrix, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("invariant: need >= 2 metrics, got %d", m)
+	}
+	a := NewMatrix(m)
+	forEachPair(m, func() func(i, j int) {
+		return func(i, j int) { a.Set(i, j, scorer.Score(i, j)) }
+	})
 	return a, nil
 }
 
@@ -181,15 +260,9 @@ func (k *PairMask) KnownCount() int {
 // (minSamples <= 0 selects DefaultMinSamples); other pairs score 0 and are
 // reported unknown in the returned mask.
 func ComputeMaskedMatrix(rows [][]float64, valid [][]bool, assoc AssociationFunc, minSamples int) (*Matrix, *PairMask, error) {
-	m := len(rows)
-	if m < 2 {
-		return nil, nil, fmt.Errorf("invariant: need >= 2 metrics, got %d", m)
-	}
-	n := len(rows[0])
-	for i, r := range rows {
-		if len(r) != n {
-			return nil, nil, fmt.Errorf("invariant: metric %d has %d samples, want %d", i, len(r), n)
-		}
+	m, n, err := validateRows(rows)
+	if err != nil {
+		return nil, nil, err
 	}
 	if valid != nil && len(valid) != m {
 		return nil, nil, fmt.Errorf("invariant: %d mask rows for %d metrics", len(valid), m)
@@ -208,44 +281,25 @@ func ComputeMaskedMatrix(rows [][]float64, valid [][]bool, assoc AssociationFunc
 	}
 	a := NewMatrix(m)
 	mask := NewPairMask(m, false)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	rowCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			xs := make([]float64, 0, n)
-			ys := make([]float64, 0, n)
-			for i := range rowCh {
-				for j := i + 1; j < m; j++ {
-					xs, ys = xs[:0], ys[:0]
-					for t := 0; t < n; t++ {
-						if usable[i][t] && usable[j][t] {
-							xs = append(xs, rows[i][t])
-							ys = append(ys, rows[j][t])
-						}
-					}
-					if len(xs) < minSamples {
-						continue // unknown: mask stays false, score stays 0
-					}
-					a.Set(i, j, assoc(xs, ys))
-					mask.Set(i, j, true)
+	forEachPair(m, func() func(i, j int) {
+		// Per-worker overlap buffers, reused across the worker's pairs.
+		xs := make([]float64, 0, n)
+		ys := make([]float64, 0, n)
+		return func(i, j int) {
+			xs, ys = xs[:0], ys[:0]
+			for t := 0; t < n; t++ {
+				if usable[i][t] && usable[j][t] {
+					xs = append(xs, rows[i][t])
+					ys = append(ys, rows[j][t])
 				}
 			}
-		}()
-	}
-	for i := 0; i < m; i++ {
-		rowCh <- i
-	}
-	close(rowCh)
-	wg.Wait()
+			if len(xs) < minSamples {
+				return // unknown: mask stays false, score stays 0
+			}
+			a.Set(i, j, assoc(xs, ys))
+			mask.Set(i, j, true)
+		}
+	})
 	return a, mask, nil
 }
 

@@ -1,0 +1,87 @@
+package mic
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Batch prepares every metric of a window once and scores pairs with
+// shared preprocessing — the engine behind the invariant layer's
+// pair-granular parallel matrix fill. Preparing costs one sort per metric;
+// every one of the m(m−1)/2 pair computations then skips the per-call
+// sorting and equipartitioning entirely and draws its DP buffers from a
+// pool, so Score is cheap enough to call from many workers at once.
+type Batch struct {
+	prepared []*Prepared // nil where the metric's samples are degenerate
+	errs     []error     // the Prepare error for degenerate metrics
+	pool     sync.Pool   // *Scratch, one per concurrent scorer
+}
+
+// NewBatch validates the metric rows (all must share one length) and
+// prepares each. A metric whose samples are degenerate (too few, non-finite)
+// is not an error: every pair involving it scores 0, exactly the sentinel
+// MIC returns for such inputs. Structural problems — no rows, ragged rows —
+// are errors.
+func NewBatch(rows [][]float64, cfg Config) (*Batch, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("mic: batch needs at least one metric")
+	}
+	n := len(rows[0])
+	for i, r := range rows {
+		if len(r) != n {
+			return nil, fmt.Errorf("mic: metric %d has %d samples, want %d", i, len(r), n)
+		}
+	}
+	b := &Batch{
+		prepared: make([]*Prepared, len(rows)),
+		errs:     make([]error, len(rows)),
+	}
+	b.pool.New = func() any { return NewScratch() }
+	for i, r := range rows {
+		p, err := Prepare(r, cfg)
+		if err != nil {
+			b.errs[i] = err
+			continue
+		}
+		b.prepared[i] = p
+	}
+	return b, nil
+}
+
+// Len returns the number of metrics in the batch.
+func (b *Batch) Len() int { return len(b.prepared) }
+
+// MetricErr returns the preparation error of metric i (nil when the metric
+// is usable). Degenerate metrics score 0 against every partner.
+func (b *Batch) MetricErr(i int) error { return b.errs[i] }
+
+// Score returns the MIC of metrics i and j, or 0 when either metric is
+// degenerate — the same sentinel the MIC convenience wrapper returns for
+// such data. Safe for concurrent use; it satisfies the invariant package's
+// PairScorer interface.
+func (b *Batch) Score(i, j int) float64 {
+	px, py := b.prepared[i], b.prepared[j]
+	if px == nil || py == nil {
+		return 0
+	}
+	sc := b.pool.Get().(*Scratch)
+	res := computePair(px, py, sc)
+	b.pool.Put(sc)
+	return res.MIC
+}
+
+// Compute returns the full MIC analysis of metrics i and j. Degenerate
+// metrics report their preparation error.
+func (b *Batch) Compute(i, j int) (Result, error) {
+	if err := b.errs[i]; err != nil {
+		return Result{}, err
+	}
+	if err := b.errs[j]; err != nil {
+		return Result{}, err
+	}
+	sc := b.pool.Get().(*Scratch)
+	res := computePair(b.prepared[i], b.prepared[j], sc)
+	b.pool.Put(sc)
+	return res, nil
+}

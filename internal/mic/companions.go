@@ -1,6 +1,7 @@
 package mic
 
 import (
+	"fmt"
 	"math"
 )
 
@@ -28,73 +29,58 @@ type Analysis struct {
 
 // Analyze computes MIC and its companion statistics for the paired sample.
 func Analyze(xs, ys []float64, cfg Config) (Analysis, error) {
-	res, err := Compute(xs, ys, cfg)
+	if len(xs) != len(ys) {
+		return Analysis{}, fmt.Errorf("mic: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	px, err := Prepare(xs, cfg)
 	if err != nil {
 		return Analysis{}, err
 	}
-	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
-		cfg.Alpha = alphaFor(len(xs))
+	py, err := Prepare(ys, cfg)
+	if err != nil {
+		return Analysis{}, err
 	}
-	if cfg.C <= 0 {
-		cfg.C = 5
-	}
+	sc := NewScratch()
+	res := computePair(px, py, sc)
 	out := Analysis{Result: res, MCN: math.Inf(1)}
 
-	// Rebuild the characteristic matrix (normalised) for both
-	// orientations: m[a][b] for a columns × b rows.
+	// Fold the two dense characteristic halves computePair left in sc into
+	// the normalised matrix char[(cols, rows)] = M(cols, rows).
 	b := res.B
-	m1 := charHalf(xs, ys, b, cfg.C)
-	m2 := charHalf(ys, xs, b, cfg.C)
-	norm := func(i float64, a, r int) float64 {
-		d := math.Log(math.Min(float64(a), float64(r)))
-		if d <= 0 {
-			return 0
-		}
-		v := i / d
-		if v > 1 {
-			v = 1
-		}
-		if v < 0 {
-			v = 0
-		}
-		return v
-	}
-	char := make(map[gridKey]float64)
+	dim := b/2 + 1
+	char := make([]float64, dim*dim)
 	for a := 2; a <= b/2; a++ {
 		for r := 2; a*r <= b; r++ {
-			var i float64
-			if v, ok := m1[gridKey{a, r}]; ok {
-				i = v
+			v := sc.char1[r*dim+a]
+			if w := sc.char2[a*dim+r]; w > v {
+				v = w
 			}
-			if v, ok := m2[gridKey{r, a}]; ok && v > i {
-				i = v
-			}
-			char[gridKey{a, r}] = norm(i, a, r)
+			char[a*dim+r] = micNorm(v, a, r)
 		}
 	}
 
-	// MAS: the maximum |M(a,b) − M(b,a)| over the matrix.
-	for k, v := range char {
-		if t, ok := char[gridKey{k.rows, k.cols}]; ok {
-			if d := math.Abs(v - t); d > out.MAS {
+	// Every admissible (cols=a, rows=r) grid has its transpose (r, a)
+	// admissible too (the product is symmetric), so the companion loops
+	// range over the same grid set the characteristic map used to hold.
+	for a := 2; a <= b/2; a++ {
+		for r := 2; a*r <= b; r++ {
+			v := char[a*dim+r]
+			// MAS: the maximum |M(a,r) − M(r,a)| over the matrix.
+			if d := math.Abs(v - char[r*dim+a]); d > out.MAS {
 				out.MAS = d
 			}
-		}
-	}
-	// MEV: the best score among grids with 2 rows or 2 columns.
-	for k, v := range char {
-		if (k.cols == 2 || k.rows == 2) && v > out.MEV {
-			out.MEV = v
-		}
-	}
-	// MCN: log2 of the smallest cell count whose grid reaches
-	// (1−eps)·MIC, with Reshef's eps = 0 convention softened to 1e-9 for
-	// floating point.
-	const eps = 1e-9
-	for k, v := range char {
-		if v >= res.MIC-eps {
-			if cells := math.Log2(float64(k.cols * k.rows)); cells < out.MCN {
-				out.MCN = cells
+			// MEV: the best score among grids with 2 rows or 2 columns.
+			if (a == 2 || r == 2) && v > out.MEV {
+				out.MEV = v
+			}
+			// MCN: log2 of the smallest cell count whose grid reaches
+			// (1−eps)·MIC, with Reshef's eps = 0 convention softened to
+			// 1e-9 for floating point.
+			const eps = 1e-9
+			if v >= res.MIC-eps {
+				if cells := math.Log2(float64(a * r)); cells < out.MCN {
+					out.MCN = cells
+				}
 			}
 		}
 	}

@@ -23,13 +23,18 @@
 // I(P;Q) = H(Q) − H(Q|P) with H(Q|P) additive over the bins of P, so the
 // optimal column partition is a shortest-path problem over clump
 // boundaries.
+//
+// Two batch-oriented entry points serve the invariant layer's exhaustive
+// pairwise search: Prepare computes a metric's sort permutation and
+// equipartitions once for reuse across all its pairs, and Batch scores any
+// pair of a prepared metric window with pooled scratch buffers (see
+// prepared.go and batch.go).
 package mic
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 )
 
 // ErrTooFewSamples is returned when fewer than MinSamples points are given.
@@ -92,340 +97,47 @@ func Compute(xs, ys []float64, cfg Config) (Result, error) {
 	if len(xs) != len(ys) {
 		return Result{}, fmt.Errorf("mic: length mismatch %d vs %d", len(xs), len(ys))
 	}
-	n := len(xs)
-	if n < MinSamples {
-		return Result{}, ErrTooFewSamples
+	px, err := Prepare(xs, cfg)
+	if err != nil {
+		return Result{}, err
 	}
-	for i := range xs {
-		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
-			return Result{}, ErrNonFinite
-		}
+	py, err := Prepare(ys, cfg)
+	if err != nil {
+		return Result{}, err
 	}
-	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
-		cfg.Alpha = alphaFor(n)
-	}
-	if cfg.C <= 0 {
-		cfg.C = 5
-	}
-	b := int(math.Floor(math.Pow(float64(n), cfg.Alpha)))
-	if b < 4 {
-		b = 4
-	}
-	res := Result{N: n, B: b}
-	// Orientation 1: rows from ys, optimise the xs axis.
-	m1 := charHalf(xs, ys, b, cfg.C)
-	// Orientation 2: rows from xs, optimise the ys axis.
-	m2 := charHalf(ys, xs, b, cfg.C)
-	for a := 2; a <= b/2; a++ {
-		for r := 2; a*r <= b; r++ {
-			var i float64
-			if v, ok := m1[gridKey{a, r}]; ok {
-				i = v
-			}
-			if v, ok := m2[gridKey{r, a}]; ok && v > i {
-				i = v
-			}
-			norm := math.Log(math.Min(float64(a), float64(r)))
-			if norm <= 0 {
-				continue
-			}
-			score := i / norm
-			if score > res.MIC {
-				res.MIC = score
-				res.BestGrid = [2]int{a, r}
-			}
-		}
-	}
-	// Numerical safety: clamp to [0,1].
-	if res.MIC > 1 {
-		res.MIC = 1
-	}
-	if res.MIC < 0 {
-		res.MIC = 0
-	}
-	return res, nil
+	return computePair(px, py, NewScratch()), nil
 }
 
 // MIC is a convenience wrapper returning just the score under the default
-// configuration, with 0 for degenerate inputs (the invariant layer treats
-// "no association computable" as MIC 0, matching the paper's rule that a
-// missing association pair scores 0).
+// configuration, with 0 for data-degenerate inputs (the invariant layer
+// treats "no association computable" as MIC 0, matching the paper's rule
+// that a missing association pair scores 0). Only ErrTooFewSamples and
+// ErrNonFinite map to the sentinel; a length mismatch is a programmer
+// error, not a data condition, and panics rather than masquerading as "no
+// association".
 func MIC(xs, ys []float64) float64 {
 	r, err := Compute(xs, ys, DefaultConfig())
 	if err != nil {
-		return 0
+		if errors.Is(err, ErrTooFewSamples) || errors.Is(err, ErrNonFinite) {
+			return 0
+		}
+		panic(err)
 	}
 	return r.MIC
 }
 
-type gridKey struct{ cols, rows int }
-
-// charHalf computes max mutual information values I*(cols, rows) for one
-// orientation: the "row" variable rv is equipartitioned into rows bins and
-// the "column" variable cv is optimally partitioned by DP.
-// Keys with cols*rows <= budget are filled.
-func charHalf(cv, rv []float64, budget, clumpFactor int) map[gridKey]float64 {
-	out := make(map[gridKey]float64)
-	n := len(cv)
-	// Points sorted by the column variable; ties broken by row variable to
-	// make clump construction deterministic.
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+// micNorm normalises a mutual information value to [0,1] by log min(a,r).
+func micNorm(i float64, a, r int) float64 {
+	d := math.Log(math.Min(float64(a), float64(r)))
+	if d <= 0 {
+		return 0
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		if cv[idx[a]] != cv[idx[b]] {
-			return cv[idx[a]] < cv[idx[b]]
-		}
-		return rv[idx[a]] < rv[idx[b]]
-	})
-	maxRows := budget / 2
-	for rows := 2; rows <= maxRows; rows++ {
-		maxCols := budget / rows
-		if maxCols < 2 {
-			break
-		}
-		rowOf, hq, ok := equipartition(rv, rows)
-		if !ok {
-			continue
-		}
-		clumps := buildClumps(cv, rowOf, idx, clumpFactor*maxCols)
-		if len(clumps) < 2 {
-			continue
-		}
-		best := optimizeAxis(clumps, rowOf, idx, rows, maxCols, hq, n)
-		for cols := 2; cols <= maxCols; cols++ {
-			if v := best[cols]; v > 0 {
-				out[gridKey{cols, rows}] = v
-			}
-		}
+	v := i / d
+	if v > 1 {
+		v = 1
 	}
-	return out
-}
-
-// equipartition assigns each point a row in [0, rows) so that rows hold as
-// close to n/rows points as possible while keeping equal values together.
-// It returns the assignment, the entropy H(Q) of the row distribution, and
-// whether the partition is usable (at least two non-empty rows).
-func equipartition(rv []float64, rows int) ([]int, float64, bool) {
-	n := len(rv)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	if v < 0 {
+		v = 0
 	}
-	sort.Slice(order, func(a, b int) bool { return rv[order[a]] < rv[order[b]] })
-	rowOf := make([]int, n)
-	target := float64(n) / float64(rows)
-	row := 0
-	inRow := 0 // points in the current row
-	for i := 0; i < n; {
-		// Tie group [i, j).
-		j := i + 1
-		for j < n && rv[order[j]] == rv[order[i]] {
-			j++
-		}
-		size := j - i
-		// Advance to the next row when the current one is full enough and
-		// adding the tie group overshoots the target more than deferring.
-		if inRow > 0 && row < rows-1 {
-			overshoot := math.Abs(float64(inRow+size) - target)
-			undershoot := math.Abs(float64(inRow) - target)
-			if overshoot >= undershoot {
-				row++
-				inRow = 0
-			}
-		}
-		for k := i; k < j; k++ {
-			rowOf[order[k]] = row
-		}
-		inRow += size
-		i = j
-	}
-	// Row histogram and entropy.
-	counts := make([]int, rows)
-	for _, r := range rowOf {
-		counts[r]++
-	}
-	nonEmpty := 0
-	var h float64
-	for _, c := range counts {
-		if c == 0 {
-			continue
-		}
-		nonEmpty++
-		p := float64(c) / float64(n)
-		h -= p * math.Log(p)
-	}
-	return rowOf, h, nonEmpty >= 2
-}
-
-// clump is a maximal run of consecutive points (in column order) that any
-// column partition must keep together.
-type clump struct {
-	end int // exclusive index into the sorted order; points [prev.end, end)
-}
-
-// buildClumps groups the sorted points into clumps (points sharing a column
-// value stay together, and maximal same-row runs are merged — a boundary
-// strictly inside a single-row run never improves mutual information), then
-// caps the count at maxClumps by merging adjacent clumps into superclumps of
-// roughly equal size, as in MINE's GetSuperclumpsPartition.
-func buildClumps(cv []float64, rowOf []int, idx []int, maxClumps int) []clump {
-	n := len(idx)
-	var raw []int // exclusive end indices of x-tie groups
-	i := 0
-	for i < n {
-		j := i + 1
-		for j < n && cv[idx[j]] == cv[idx[i]] {
-			j++
-		}
-		raw = append(raw, j)
-		i = j
-	}
-	// Merge consecutive tie groups whose points all share one row.
-	raw = mergeSameRowRuns(raw, rowOf, idx)
-	if maxClumps < 2 {
-		maxClumps = 2
-	}
-	if len(raw) <= maxClumps {
-		out := make([]clump, len(raw))
-		for k, e := range raw {
-			out[k] = clump{end: e}
-		}
-		return out
-	}
-	// Superclumps: pick ~maxClumps boundaries evenly by point count.
-	out := make([]clump, 0, maxClumps)
-	target := float64(n) / float64(maxClumps)
-	next := target
-	for k, e := range raw {
-		if float64(e) >= next || k == len(raw)-1 {
-			out = append(out, clump{end: e})
-			next = float64(e) + target
-		}
-	}
-	return out
-}
-
-// mergeSameRowRuns collapses consecutive clumps into one when every point
-// involved lies in a single row. ends are exclusive end indices into idx.
-func mergeSameRowRuns(ends []int, rowOf []int, idx []int) []int {
-	uniformRow := func(start, end int) (int, bool) {
-		r := rowOf[idx[start]]
-		for p := start + 1; p < end; p++ {
-			if rowOf[idx[p]] != r {
-				return 0, false
-			}
-		}
-		return r, true
-	}
-	var out []int
-	start := 0
-	i := 0
-	for i < len(ends) {
-		r, ok := uniformRow(start, ends[i])
-		j := i
-		if ok {
-			// Extend while subsequent clumps are uniform in the same row.
-			for j+1 < len(ends) {
-				r2, ok2 := uniformRow(ends[j], ends[j+1])
-				if !ok2 || r2 != r {
-					break
-				}
-				j++
-			}
-		}
-		out = append(out, ends[j])
-		start = ends[j]
-		i = j + 1
-	}
-	return out
-}
-
-// optimizeAxis runs the DP, returning best[l] = maximal mutual information
-// using at most l columns over the clump boundaries. hq is H(Q); n the
-// total point count.
-func optimizeAxis(clumps []clump, rowOf []int, idx []int, rows, maxCols int, hq float64, n int) []float64 {
-	k := len(clumps)
-	// cum[i][r] = number of points in clumps[0..i-1] falling in row r.
-	cum := make([][]int, k+1)
-	cum[0] = make([]int, rows)
-	start := 0
-	for i, c := range clumps {
-		rowCounts := append([]int(nil), cum[i]...)
-		for p := start; p < c.end; p++ {
-			rowCounts[rowOf[idx[p]]]++
-		}
-		cum[i+1] = rowCounts
-		start = c.end
-	}
-	// costTab[s][t]: unnormalised conditional-entropy contribution of a
-	// column bin covering clumps s..t-1, precomputed once — the DP below
-	// would otherwise recompute each entry once per column count.
-	costTab := make([][]float64, k+1)
-	for s := 0; s <= k; s++ {
-		costTab[s] = make([]float64, k+1)
-		for t := s + 1; t <= k; t++ {
-			var tot int
-			for r := 0; r < rows; r++ {
-				tot += cum[t][r] - cum[s][r]
-			}
-			if tot == 0 {
-				continue
-			}
-			var c float64
-			ft := float64(tot)
-			for r := 0; r < rows; r++ {
-				cnt := cum[t][r] - cum[s][r]
-				if cnt == 0 {
-					continue
-				}
-				c += float64(cnt) * math.Log(ft/float64(cnt))
-			}
-			costTab[s][t] = c
-		}
-	}
-	cost := func(s, t int) float64 { return costTab[s][t] }
-	const inf = math.MaxFloat64
-	// dp[l][t] = min total cost partitioning clumps[0..t-1] into exactly l
-	// column bins (t ranges 0..k).
-	prev := make([]float64, k+1)
-	for t := range prev {
-		prev[t] = cost(0, t)
-	}
-	best := make([]float64, maxCols+1)
-	for l := 2; l <= maxCols && l <= k; l++ {
-		curr := make([]float64, k+1)
-		for t := 0; t <= k; t++ {
-			curr[t] = inf
-			for s := l - 1; s < t; s++ {
-				if prev[s] == inf {
-					continue
-				}
-				if v := prev[s] + cost(s, t); v < curr[t] {
-					curr[t] = v
-				}
-			}
-		}
-		if curr[k] < inf {
-			mi := hq - curr[k]/float64(n)
-			if mi < 0 {
-				mi = 0
-			}
-			// MI with <= l bins: monotone in l, so carry the running max.
-			if mi < best[l-1] {
-				mi = best[l-1]
-			}
-			best[l] = mi
-		} else {
-			best[l] = best[l-1]
-		}
-		prev = curr
-	}
-	// Fill any remaining l (fewer clumps than columns) with the last value:
-	// more columns than clumps cannot improve the partition.
-	for l := k + 1; l >= 2 && l <= maxCols; l++ {
-		best[l] = best[l-1]
-	}
-	return best
+	return v
 }

@@ -204,7 +204,11 @@ func TestMICMonotoneComparableToLinear(t *testing.T) {
 
 func TestEquipartitionRespectesTies(t *testing.T) {
 	rv := []float64{1, 1, 1, 1, 2, 2, 3, 3}
-	rowOf, h, ok := equipartition(rv, 2)
+	p, err := Prepare(rv, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowOf, h, ok := p.rowOf[2], p.hq[2], p.rowsOK[2]
 	if !ok {
 		t.Fatal("equipartition failed")
 	}
@@ -217,6 +221,28 @@ func TestEquipartitionRespectesTies(t *testing.T) {
 	}
 	if h <= 0 {
 		t.Errorf("entropy = %v, want > 0", h)
+	}
+}
+
+func TestMICPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MIC with mismatched lengths should panic, not return the 0 sentinel")
+		}
+	}()
+	MIC([]float64{1, 2, 3, 4, 5, 6, 7, 8}, []float64{1, 2, 3})
+}
+
+func TestMICZeroSentinelOnlyForDataDegeneracy(t *testing.T) {
+	short := []float64{1, 2, 3}
+	if s := MIC(short, short); s != 0 {
+		t.Errorf("MIC(too few samples) = %v, want 0", s)
+	}
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	bad := append([]float64(nil), xs...)
+	bad[4] = math.NaN()
+	if s := MIC(xs, bad); s != 0 {
+		t.Errorf("MIC(non-finite) = %v, want 0", s)
 	}
 }
 

@@ -96,6 +96,15 @@ type (
 	ARIMAOrder = arima.Order
 	// ARXModel is a fitted pairwise ARX model (the Jiang et al. baseline).
 	ARXModel = arx.Model
+	// MICBatch holds a window of metrics prepared once for repeated
+	// pair scoring (the engine behind batch invariant training).
+	MICBatch = mic.Batch
+	// AssociationMatrix is a pairwise association matrix.
+	AssociationMatrix = invariant.Matrix
+	// PairScorer scores metric pairs by index (MICBatch satisfies it).
+	PairScorer = invariant.PairScorer
+	// AssocCacheStats reports association-matrix cache effectiveness.
+	AssocCacheStats = core.CacheStats
 	// InvariantSet is a selected set of observable likely invariants.
 	InvariantSet = invariant.Set
 	// SignatureDB is the problem-signature database.
@@ -119,6 +128,25 @@ func MIC(xs, ys []float64) float64 { return mic.MIC(xs, ys) }
 
 // ComputeMIC returns the full MIC analysis.
 func ComputeMIC(xs, ys []float64, cfg MICConfig) (MICResult, error) { return mic.Compute(xs, ys, cfg) }
+
+// DefaultMICConfig returns the standard MIC parameters (alpha=0.6, c=15).
+func DefaultMICConfig() MICConfig { return mic.DefaultConfig() }
+
+// NewMICBatch prepares every metric row once (one sort and equipartition
+// per metric) so the m(m−1)/2 pair scores skip that work.
+func NewMICBatch(rows [][]float64, cfg MICConfig) (*MICBatch, error) { return mic.NewBatch(rows, cfg) }
+
+// ComputeAssociationMatrix fills the pairwise association matrix of the
+// metric rows with assoc, pairs fanned out across CPUs.
+func ComputeAssociationMatrix(rows [][]float64, assoc func(xs, ys []float64) float64) (*AssociationMatrix, error) {
+	return invariant.ComputeMatrix(rows, assoc)
+}
+
+// ComputeAssociationMatrixScored fills the matrix from a batch pair scorer
+// such as MICBatch.
+func ComputeAssociationMatrixScored(m int, scorer PairScorer) (*AssociationMatrix, error) {
+	return invariant.ComputeMatrixScored(m, scorer)
+}
 
 // FitARIMA fits an ARIMA model of the given order.
 func FitARIMA(series []float64, order ARIMAOrder) (*ARIMAModel, error) {
