@@ -1,25 +1,32 @@
 # Verification tiers.
 #
-#   make test   — tier 1: build everything, run the full unit suite
-#   make race   — tier 2: vet + the full suite under the race detector
-#   make check  — both tiers
-#   make bench  — training-engine micro-benchmarks at fixed iteration
-#                 counts, written as a comparable JSON baseline
+#   make test          — tier 1: build everything, run the full unit suite
+#   make race          — tier 2: vet + the full suite under the race detector
+#   make bench         — tracked micro-benchmarks at fixed iteration counts,
+#                        written as a comparable JSON baseline
+#   make bench-compare — rerun the tracked benches and fail on a >20%
+#                        regression against benchmarks/baseline.json
+#   make check         — all tiers: test, race, bench comparison
 #
-# The race tier exists because the robustness layer is concurrent by
-# design (supervised monitor goroutines, parallel association workers,
-# concurrent SaveTo): a data race there is a correctness bug, not a
-# performance detail.
+# The race tier exists because the core is concurrent by design (striped
+# profile registry, supervised monitor goroutines, parallel association
+# workers, concurrent SaveTo): a data race there is a correctness bug, not
+# a performance detail.
 #
 # The bench tier pins -benchtime to a fixed iteration count so ns/op and
 # allocs/op are averaged over the same work on every run; benchjson strips
 # the -GOMAXPROCS suffix and sorts by name, so baselines diff cleanly
-# across commits (benchmarks/baseline.json).
+# across commits (benchmarks/baseline.json). bench-compare writes the fresh
+# run to benchmarks/current.json (not committed) and gates on `benchjson
+# -compare`.
 
 GO ?= go
-BENCH_ITERS ?= 200x
+# 2000 fixed iterations keeps scheduler noise on the parallel benches well
+# inside the 20% comparison threshold; 200x was too jittery to gate on.
+BENCH_ITERS ?= 2000x
+BENCH_PATTERN = BenchmarkMIC$$|BenchmarkComputeMatrix|BenchmarkARXAssociation|BenchmarkConcurrentDiagnose
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -33,10 +40,16 @@ vet:
 race: vet
 	$(GO) test -race ./...
 
-check: test race
+check: test race bench-compare
 
 bench: build
 	@mkdir -p benchmarks
-	$(GO) test -run '^$$' -bench 'BenchmarkMIC$$|BenchmarkComputeMatrix|BenchmarkARXAssociation' \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' \
 		-benchmem -benchtime $(BENCH_ITERS) . | $(GO) run ./cmd/benchjson > benchmarks/baseline.json
 	@cat benchmarks/baseline.json
+
+bench-compare: build
+	@mkdir -p benchmarks
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' \
+		-benchmem -benchtime $(BENCH_ITERS) . | $(GO) run ./cmd/benchjson > benchmarks/current.json
+	$(GO) run ./cmd/benchjson -compare benchmarks/baseline.json benchmarks/current.json

@@ -11,10 +11,13 @@
 package invarnetx
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"invarnetx/internal/experiments"
 	"invarnetx/internal/faults"
+	"invarnetx/internal/metrics"
 	"invarnetx/internal/workload"
 )
 
@@ -420,6 +423,85 @@ func BenchmarkARXAssociation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ARXAssociation(xs, ys)
+	}
+}
+
+// benchSynthTrace builds a synthetic metric window whose first `coupled`
+// rows follow a shared latent series (stable invariants) and whose rest is
+// noise — the same shape the core tests train on.
+func benchSynthTrace(rng *RNG, nodeIP string, length, coupled int, decoupled bool) *MetricsTrace {
+	tr := metrics.NewTrace(nodeIP, string(Wordcount))
+	latent := make([]float64, length)
+	for t := range latent {
+		latent[t] = rng.Float64()
+	}
+	for t := 0; t < length; t++ {
+		row := make([]float64, metrics.Count)
+		for m := 0; m < metrics.Count; m++ {
+			switch {
+			case decoupled && m < 2:
+				row[m] = rng.Float64() // broken invariants: the fault window
+			case m < coupled:
+				row[m] = float64(m+1)*latent[t] + 0.1 + rng.Normal(0, 0.02)
+			default:
+				row[m] = rng.Float64()
+			}
+		}
+		if err := tr.Add(row, 1.0+0.3*latent[t]+rng.Normal(0, 0.02)); err != nil {
+			panic(err)
+		}
+	}
+	return tr
+}
+
+// BenchmarkConcurrentDiagnose measures diagnosis throughput when GOMAXPROCS
+// goroutines hammer 1, 2, 4 or 8 operation contexts. Each context is its own
+// profile (own lock, own association cache), so throughput should scale near
+// linearly with the context count: at contexts=1 every goroutine serialises
+// on one profile, at contexts=8 they spread across the striped registry.
+func BenchmarkConcurrentDiagnose(b *testing.B) {
+	for _, nctx := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("contexts=%d", nctx), func(b *testing.B) {
+			sys := New(DefaultConfig())
+			rng := NewRNG(77)
+			ctxs := make([]Context, nctx)
+			wins := make([]*MetricsTrace, nctx)
+			for i := range ctxs {
+				ip := fmt.Sprintf("10.0.0.%d", i+2)
+				ctxs[i] = Context{Workload: string(Wordcount), IP: ip}
+				var runs []*MetricsTrace
+				var cpis [][]float64
+				for r := 0; r < 3; r++ {
+					tr := benchSynthTrace(rng, ip, 60, 8, false)
+					runs = append(runs, tr)
+					cpis = append(cpis, tr.CPI)
+				}
+				if err := sys.TrainPerformanceModel(ctxs[i], cpis); err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.TrainInvariants(ctxs[i], runs); err != nil {
+					b.Fatal(err)
+				}
+				wins[i] = benchSynthTrace(rng, ip, 30, 8, true)
+				if err := sys.BuildSignature(ctxs[i], "cpu-hog", wins[i]); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sys.Diagnose(ctxs[i], wins[i]); err != nil { // warm the cache
+					b.Fatal(err)
+				}
+			}
+			var next int64
+			b.SetParallelism(8) // ≥8 goroutines even at GOMAXPROCS=1
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(atomic.AddInt64(&next, 1)-1) % nctx
+				for pb.Next() {
+					if _, err := sys.Diagnose(ctxs[i], wins[i]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
 	}
 }
 

@@ -4,6 +4,11 @@
 //
 //	go test -bench 'MIC|ComputeMatrix' -benchmem -benchtime 200x . | benchjson > benchmarks/baseline.json
 //
+// With -compare it instead reads two such JSON files and fails (exit 1) if
+// any tracked benchmark regressed by more than -threshold:
+//
+//	benchjson -compare benchmarks/baseline.json benchmarks/current.json
+//
 // Lines that are not benchmark results (goos/pkg headers, PASS, logs) are
 // ignored. Fixed iteration counts (-benchtime Nx) make ns/op figures
 // comparable run-to-run; allocation counts are deterministic regardless.
@@ -12,6 +17,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -19,6 +25,18 @@ import (
 )
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two JSON baselines instead of converting stdin")
+	threshold := flag.Float64("threshold", 0.2, "fractional regression allowed before failing (with -compare)")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs two args: baseline.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+
 	results, err := benchparse.Parse(bufio.NewReader(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -34,4 +52,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+func runCompare(basePath, newPath string, threshold float64) int {
+	base, err := readResults(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	cur, err := readResults(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	regs := benchparse.Compare(base, cur, threshold)
+	if len(regs) == 0 {
+		fmt.Printf("benchjson: %d benchmarks within %.0f%% of baseline\n", len(base), threshold*100)
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+	}
+	return 1
+}
+
+func readResults(path string) ([]benchparse.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []benchparse.Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
 }

@@ -42,6 +42,8 @@ func main() {
 		err = cmdDiagnose(os.Args[2:])
 	case "audit":
 		err = cmdAudit(os.Args[2:])
+	case "profiles":
+		err = cmdProfiles(os.Args[2:])
 	case "faults":
 		err = cmdFaults()
 	case "-h", "--help", "help":
@@ -66,6 +68,7 @@ commands:
   signatures  build the signature database for every fault; save to -models
   diagnose    inject a fault, detect it online and infer the root cause
   audit       report signature conflicts and per-problem separability
+  profiles    list per-context profiles with model/invariant/signature stats
   faults      list the injectable faults`)
 }
 
@@ -322,7 +325,7 @@ func cmdAudit(args []string) error {
 	if err := loadModels(sys, *models); err != nil {
 		return fmt.Errorf("loading models: %w", err)
 	}
-	db := sys.SignatureDB()
+	db := sys.SignatureSnapshot()
 	fmt.Printf("auditing %d signatures\n", db.Len())
 	conflicts, err := db.Conflicts(r.Options().Config.Similarity, *threshold)
 	if err != nil {
@@ -344,6 +347,33 @@ func cmdAudit(args []string) error {
 	for _, sep := range seps {
 		fmt.Printf("  %-10s margin %+0.2f (cohesion %.2f, worst external %.2f vs %s) [%s@%s]\n",
 			sep.Problem, sep.Margin(), sep.Cohesion, sep.WorstExternal, sep.WorstProblem, sep.Workload, sep.IP)
+	}
+	return nil
+}
+
+func cmdProfiles(args []string) error {
+	fs := flag.NewFlagSet("profiles", flag.ExitOnError)
+	_, _, models := common(fs)
+	fs.Parse(args)
+	r := runner(1)
+	sys := core.New(r.Options().Config)
+	if err := loadModels(sys, *models); err != nil {
+		return fmt.Errorf("loading models: %w", err)
+	}
+	pstats := sys.ProfileStats()
+	if len(pstats) == 0 {
+		fmt.Println("no profiles in store")
+		return nil
+	}
+	fmt.Printf("%d profiles:\n", len(pstats))
+	for _, st := range pstats {
+		model := "-"
+		if st.HasModel {
+			model = "arima"
+		}
+		fmt.Printf("  %-28s model %-5s  %3d invariants  %3d signatures  %2d monitors  cache %d/%d (%d entries)\n",
+			st.Context, model, st.Invariants, st.Signatures, st.Monitors,
+			st.Cache.Hits, st.Cache.Misses, st.Cache.Entries)
 	}
 	return nil
 }

@@ -1,0 +1,60 @@
+package benchparse
+
+import "fmt"
+
+// Regression is one tracked benchmark figure that grew beyond the allowed
+// threshold between a baseline and a new run.
+type Regression struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit"`
+	Base  float64 `json:"base"`
+	New   float64 `json:"new"`
+	Ratio float64 `json:"ratio"` // new/base; 0 when base is 0 or the bench vanished
+}
+
+func (r Regression) String() string {
+	if r.Unit == "missing" {
+		return fmt.Sprintf("%s: present in baseline, missing from new run", r.Name)
+	}
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx)", r.Name, r.Unit, r.Base, r.New, r.Ratio)
+}
+
+// Compare reports every benchmark in base whose ns/op or allocs/op grew by
+// more than threshold (fractional, e.g. 0.2 = +20%) in cur. A benchmark
+// present in base but absent from cur is a regression too (the suite lost
+// coverage); benchmarks only in cur are ignored — they become regressions
+// once the baseline is regenerated. Results are returned in base order.
+func Compare(base, cur []Result, threshold float64) []Regression {
+	curByName := make(map[string]Result, len(cur))
+	for _, r := range cur {
+		curByName[r.Name] = r
+	}
+	var regs []Regression
+	for _, b := range base {
+		c, ok := curByName[b.Name]
+		if !ok {
+			regs = append(regs, Regression{Name: b.Name, Unit: "missing"})
+			continue
+		}
+		regs = append(regs, compareFigure(b.Name, "ns/op", b.NsPerOp, c.NsPerOp, threshold)...)
+		regs = append(regs, compareFigure(b.Name, "allocs/op", float64(b.AllocsPerOp), float64(c.AllocsPerOp), threshold)...)
+	}
+	return regs
+}
+
+// compareFigure flags one (benchmark, unit) figure if it regressed. A figure
+// that was 0 in the baseline regresses whenever it becomes non-zero — there
+// is no meaningful ratio to apply a threshold to.
+func compareFigure(name, unit string, base, cur, threshold float64) []Regression {
+	if base == 0 {
+		if cur > 0 {
+			return []Regression{{Name: name, Unit: unit, Base: base, New: cur}}
+		}
+		return nil
+	}
+	ratio := cur / base
+	if ratio > 1+threshold {
+		return []Regression{{Name: name, Unit: unit, Base: base, New: cur, Ratio: ratio}}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompare(t *testing.T) {
+	base := []Result{
+		{Name: "BenchmarkFast", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+		{Name: "BenchmarkSlow", NsPerOp: 1000, AllocsPerOp: 0},
+		{Name: "BenchmarkSteady", NsPerOp: 200, AllocsPerOp: 4},
+	}
+	cur := []Result{
+		{Name: "BenchmarkFast", NsPerOp: 150, AllocsPerOp: 10},    // +50% ns/op: regression
+		{Name: "BenchmarkSlow", NsPerOp: 1100, AllocsPerOp: 2},    // +10% ns/op ok; 0->2 allocs: regression
+		{Name: "BenchmarkSteady", NsPerOp: 239, AllocsPerOp: 4},   // +19.5%: within threshold
+		{Name: "BenchmarkNew", NsPerOp: 9999, AllocsPerOp: 9999},  // new bench: not a regression
+	}
+	regs := Compare(base, cur, 0.2)
+	if len(regs) != 3 {
+		t.Fatalf("got %d regressions, want 3: %v", len(regs), regs)
+	}
+	if regs[0].Name != "BenchmarkFast" || regs[0].Unit != "ns/op" || regs[0].Ratio != 1.5 {
+		t.Errorf("regs[0] = %+v, want BenchmarkFast ns/op 1.5x", regs[0])
+	}
+	if regs[1].Name != "BenchmarkGone" || regs[1].Unit != "missing" {
+		t.Errorf("regs[1] = %+v, want BenchmarkGone missing", regs[1])
+	}
+	if regs[2].Name != "BenchmarkSlow" || regs[2].Unit != "allocs/op" || regs[2].New != 2 {
+		t.Errorf("regs[2] = %+v, want BenchmarkSlow allocs/op 0->2", regs[2])
+	}
+	if !strings.Contains(regs[1].String(), "missing") {
+		t.Errorf("missing regression String() = %q", regs[1].String())
+	}
+	if !strings.Contains(regs[0].String(), "1.5") {
+		t.Errorf("ratio regression String() = %q", regs[0].String())
+	}
+}
+
+func TestCompareClean(t *testing.T) {
+	base := []Result{{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 3}}
+	cur := []Result{{Name: "BenchmarkA", NsPerOp: 90, AllocsPerOp: 3}}
+	if regs := Compare(base, cur, 0.2); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}

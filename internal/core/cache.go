@@ -5,30 +5,22 @@ import (
 	"sync"
 
 	"invarnetx/internal/invariant"
+	"invarnetx/internal/metrics"
 	"invarnetx/internal/mic"
 )
 
-// DefaultAssocCacheSize bounds the association-matrix cache when
+// DefaultAssocCacheSize bounds a profile's association-matrix cache when
 // Config.AssocCacheSize is zero. At 26 metrics a matrix is ~2.6 KB, so the
-// default worst case stays near 10 MB.
+// default worst case stays near 10 MB per profile.
 const DefaultAssocCacheSize = 4096
 
-// CacheStats reports association-cache effectiveness. Without operation
-// context the training pool is recomputed on every TrainInvariants call, so
-// hit counts there directly measure avoided MIC work.
+// CacheStats reports association-cache effectiveness. Retraining recomputes
+// the whole pooled window set on every TrainInvariants call, so hit counts
+// directly measure avoided MIC work.
 type CacheStats struct {
 	Hits    int64
 	Misses  int64
 	Entries int
-}
-
-// assocKey identifies a cached matrix: the storage context plus a
-// fingerprint of the exact window samples. Keying by context as well as
-// content keeps an (astronomically unlikely) fingerprint collision from
-// leaking a matrix across workloads.
-type assocKey struct {
-	ctx Context
-	fp  uint64
 }
 
 // fingerprintRows hashes the window's shape and raw float64 bit patterns
@@ -56,14 +48,61 @@ func fingerprintRows(rows [][]float64) uint64 {
 	return h
 }
 
-// assocCache memoises association matrices per (context, window) key with
-// FIFO eviction. Cached matrices are shared across callers and must never
-// be mutated — every consumer (Select, Violations) only reads.
+// fingerprintWindow extends fingerprintRows over a window's validity mask,
+// so a masked window and its unmasked twin (same samples, different
+// validity) cannot share a cache entry. A nil mask leaves the rows-only
+// fingerprint untouched.
+func fingerprintWindow(rows [][]float64, valid [][]bool) uint64 {
+	h := fingerprintRows(rows)
+	if valid == nil {
+		return h
+	}
+	const prime64 = 1099511628211
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(len(valid)))
+	for _, row := range valid {
+		mix(uint64(len(row)))
+		var word uint64
+		n := 0
+		for _, ok := range row {
+			word <<= 1
+			if ok {
+				word |= 1
+			}
+			if n++; n == 64 {
+				mix(word)
+				word, n = 0, 0
+			}
+		}
+		if n > 0 {
+			mix(word)
+		}
+	}
+	return h
+}
+
+// cacheEntry is one memoised analysis: the association matrix plus the
+// pair-knowledge mask (nil for a clean, all-known window).
+type cacheEntry struct {
+	mat  *invariant.Matrix
+	mask *invariant.PairMask
+}
+
+// assocCache memoises window analyses per content fingerprint with FIFO
+// eviction. Each profile owns its cache, so the key needs no context
+// component and cached state never crosses profiles. Cached matrices and
+// masks are shared across callers and must never be mutated — every
+// consumer (Select, ViolationsMasked) only reads.
 type assocCache struct {
 	mu      sync.Mutex
 	max     int
-	entries map[assocKey]*invariant.Matrix
-	order   []assocKey
+	entries map[uint64]cacheEntry
+	order   []uint64
 	hits    int64
 	misses  int64
 }
@@ -80,27 +119,27 @@ func newAssocCache(size int) *assocCache {
 	}
 	return &assocCache{
 		max:     size,
-		entries: make(map[assocKey]*invariant.Matrix),
+		entries: make(map[uint64]cacheEntry),
 	}
 }
 
-func (c *assocCache) get(k assocKey) (*invariant.Matrix, bool) {
+func (c *assocCache) get(fp uint64) (cacheEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	m, ok := c.entries[k]
+	e, ok := c.entries[fp]
 	if ok {
 		c.hits++
 	} else {
 		c.misses++
 	}
-	return m, ok
+	return e, ok
 }
 
-func (c *assocCache) put(k assocKey, m *invariant.Matrix) {
+func (c *assocCache) put(fp uint64, e cacheEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, exists := c.entries[k]; exists {
-		c.entries[k] = m
+	if _, exists := c.entries[fp]; exists {
+		c.entries[fp] = e
 		return
 	}
 	for len(c.entries) >= c.max && len(c.order) > 0 {
@@ -108,8 +147,8 @@ func (c *assocCache) put(k assocKey, m *invariant.Matrix) {
 		c.order = c.order[1:]
 		delete(c.entries, oldest)
 	}
-	c.entries[k] = m
-	c.order = append(c.order, k)
+	c.entries[fp] = e
+	c.order = append(c.order, fp)
 }
 
 func (c *assocCache) stats() CacheStats {
@@ -143,43 +182,62 @@ func BatchFor(assoc invariant.AssociationFunc) BatchAssociation {
 	return nil
 }
 
-// computeMatrix builds one window's association matrix, preferring the
-// batch path when configured. Structural batch errors (ragged rows, empty
-// window) fall through to the generic path so error reporting stays
-// identical to the uncached pipeline.
-func (s *System) computeMatrix(rows [][]float64) (*invariant.Matrix, error) {
-	if s.cfg.BatchAssoc != nil {
-		if scorer, err := s.cfg.BatchAssoc(rows); err == nil {
-			return invariant.ComputeMatrixScored(len(rows), scorer)
+// compute analyses one window uncached: the association matrix plus the
+// pair mask (nil on clean telemetry). Clean windows take the batch path
+// when configured, with structural batch errors (ragged rows, empty window)
+// falling through to the generic path so error reporting stays identical to
+// the unbatched pipeline. Degraded windows run the same masked-first fill,
+// with the batch scorer covering the full-overlap pairs.
+func (p *Profile) compute(rows [][]float64, valid [][]bool, degraded bool) (*invariant.Matrix, *invariant.PairMask, error) {
+	cfg := &p.sys.cfg
+	if !degraded {
+		if cfg.BatchAssoc != nil {
+			if scorer, err := cfg.BatchAssoc(rows); err == nil {
+				mat, err := invariant.ComputeMatrixScored(len(rows), scorer)
+				return mat, nil, err
+			}
+		}
+		mat, err := invariant.ComputeMatrix(rows, cfg.Assoc)
+		return mat, nil, err
+	}
+	var scorer invariant.PairScorer
+	if cfg.BatchAssoc != nil {
+		// Full-overlap pairs score through the batch even on a degraded
+		// window; preparation errors just drop the fast path.
+		if sc, err := cfg.BatchAssoc(rows); err == nil {
+			scorer = sc
 		}
 	}
-	return invariant.ComputeMatrix(rows, s.cfg.Assoc)
+	return invariant.ComputeMaskedMatrixScored(rows, valid, cfg.Assoc, scorer, 0)
 }
 
-// assocMatrix is computeMatrix behind the context-keyed cache. Training
-// without operation context recomputes every pooled window per call; the
-// cache turns those recomputations into lookups.
-func (s *System) assocMatrix(key Context, rows [][]float64) (*invariant.Matrix, error) {
-	if s.cache == nil {
-		return s.computeMatrix(rows)
+// analyze is compute behind the profile's cache, keyed by the fingerprint
+// of the window's samples and validity mask. Training recomputes every
+// pooled window per call; the cache turns those recomputations into
+// lookups — for degraded windows too, which the pre-profile pipeline never
+// cached.
+func (p *Profile) analyze(tr *metrics.Trace) (*invariant.Matrix, *invariant.PairMask, error) {
+	degraded := traceDegraded(tr)
+	if p.cache == nil {
+		return p.compute(tr.Rows, tr.Valid, degraded)
 	}
-	k := assocKey{ctx: key, fp: fingerprintRows(rows)}
-	if m, ok := s.cache.get(k); ok {
-		return m, nil
+	fp := fingerprintWindow(tr.Rows, tr.Valid)
+	if e, ok := p.cache.get(fp); ok {
+		return e.mat, e.mask, nil
 	}
-	m, err := s.computeMatrix(rows)
+	mat, mask, err := p.compute(tr.Rows, tr.Valid, degraded)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	s.cache.put(k, m)
-	return m, nil
+	p.cache.put(fp, cacheEntry{mat: mat, mask: mask})
+	return mat, mask, nil
 }
 
-// AssocCacheStats reports the association cache's hit/miss counters and
-// current size. Zero-valued when caching is disabled.
-func (s *System) AssocCacheStats() CacheStats {
-	if s.cache == nil {
+// CacheStats reports the profile's association-cache counters and current
+// size. Zero-valued when caching is disabled.
+func (p *Profile) CacheStats() CacheStats {
+	if p.cache == nil {
 		return CacheStats{}
 	}
-	return s.cache.stats()
+	return p.cache.stats()
 }

@@ -58,7 +58,7 @@ func TestAssocCacheInvalidatesOnWindowChange(t *testing.T) {
 	s := trainSystem(t, Config{UseContext: true}, ctx, 701)
 	before := s.AssocCacheStats()
 	ab := synthTrace(stats.NewRNG(702), 40, 8, map[int]bool{0: true})
-	if _, _, err := s.ViolationTuple(ctx, ab); err != nil {
+	if _, err := s.Violations(ctx, ab); err != nil {
 		t.Fatal(err)
 	}
 	st := s.AssocCacheStats()
@@ -66,7 +66,7 @@ func TestAssocCacheInvalidatesOnWindowChange(t *testing.T) {
 		t.Fatalf("fresh abnormal window should miss: before %+v, after %+v", before, st)
 	}
 	// The same window again is a hit...
-	if _, _, err := s.ViolationTuple(ctx, ab); err != nil {
+	if _, err := s.Violations(ctx, ab); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.AssocCacheStats(); got.Hits != st.Hits+1 {
@@ -74,7 +74,7 @@ func TestAssocCacheInvalidatesOnWindowChange(t *testing.T) {
 	}
 	// ...until any sample changes.
 	ab.Rows[3][7] += 0.5
-	if _, _, err := s.ViolationTuple(ctx, ab); err != nil {
+	if _, err := s.Violations(ctx, ab); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.AssocCacheStats(); got.Misses != st.Misses+1 {
@@ -103,10 +103,10 @@ func TestAssocCacheKeysByContext(t *testing.T) {
 
 func TestAssocCacheDisabledAndBounded(t *testing.T) {
 	off := New(Config{AssocCacheSize: -1})
-	if off.cache != nil {
+	ctx := Context{Workload: "w", IP: "ip"}
+	if off.Profile(ctx).cache != nil {
 		t.Error("negative AssocCacheSize should disable the cache")
 	}
-	ctx := Context{Workload: "w", IP: "ip"}
 	if err := off.TrainInvariants(ctx, []*metrics.Trace{
 		synthTrace(stats.NewRNG(705), 60, 8, nil),
 		synthTrace(stats.NewRNG(706), 60, 8, nil),
@@ -119,16 +119,16 @@ func TestAssocCacheDisabledAndBounded(t *testing.T) {
 
 	small := newAssocCache(2)
 	for i := 0; i < 5; i++ {
-		small.put(assocKey{fp: uint64(i)}, invariant.NewMatrix(2))
+		small.put(uint64(i), cacheEntry{mat: invariant.NewMatrix(2)})
 	}
 	if st := small.stats(); st.Entries != 2 {
 		t.Errorf("bounded cache holds %d entries, want 2", st.Entries)
 	}
 	// Oldest evicted first: keys 0..2 gone, 3 and 4 present.
-	if _, ok := small.get(assocKey{fp: 0}); ok {
+	if _, ok := small.get(0); ok {
 		t.Error("oldest entry should have been evicted")
 	}
-	if _, ok := small.get(assocKey{fp: 4}); !ok {
+	if _, ok := small.get(4); !ok {
 		t.Error("newest entry should survive eviction")
 	}
 }

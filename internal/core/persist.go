@@ -5,16 +5,22 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"invarnetx/internal/xmlstore"
 )
 
 // File layout used by SaveTo/LoadFrom: one XML file per trained artefact,
-// named by operation context, plus a single signature database.
+// named by operation context — each profile saves and restores its own
+// slice of the store, so persistence is partial and concurrent by
+// construction.
 //
 //	<dir>/model-<workload>-<ip>.xml
 //	<dir>/invariants-<workload>-<ip>.xml
-//	<dir>/signatures.xml
+//	<dir>/signatures-<workload>-<ip>.xml
+//
+// Legacy stores with a single combined signatures.xml still load: entries
+// route to profiles by their per-entry context fields either way.
 //
 // The paper stores each model and invariant set "in an XML file"; this
 // mirrors that and makes the offline training results reusable across
@@ -76,34 +82,71 @@ func invariantPath(dir string, ctx Context) string {
 	return filepath.Join(dir, fmt.Sprintf("invariants-%s-%s.xml", ctxFileToken(ctx.Workload), ctxFileToken(ctx.IP)))
 }
 
-func signaturePath(dir string) string {
-	return filepath.Join(dir, "signatures.xml")
+func signaturePath(dir string, ctx Context) string {
+	return filepath.Join(dir, fmt.Sprintf("signatures-%s-%s.xml", ctxFileToken(ctx.Workload), ctxFileToken(ctx.IP)))
 }
 
-// SaveTo writes every trained model, invariant set and the signature
-// database into dir (created if needed). Each file is written atomically
-// (temp + rename), so a crash mid-save leaves the previous complete store
-// in place rather than a truncated one.
+// SaveTo writes the profile's trained model, invariant set and signatures
+// into dir (created if needed). Each file is written atomically (temp +
+// rename), so a crash mid-save leaves the previous complete store in place
+// rather than a truncated one; untrained artefacts write nothing.
+func (p *Profile) SaveTo(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Snapshot under the read lock, write files outside it: persistence
+	// I/O must not block this profile's online path.
+	p.mu.RLock()
+	d, set := p.detector, p.invariants
+	var sigFile *xmlstore.SignatureFile
+	if p.sigs.Len() > 0 {
+		f := xmlstore.EncodeSignaturesFor(&p.sigs, p.key.IP, p.key.Workload)
+		sigFile = &f
+	}
+	p.mu.RUnlock()
+	if d != nil {
+		f := xmlstore.EncodeModel(d, p.key.IP, p.key.Workload)
+		if err := xmlstore.SaveFile(modelPath(dir, p.key), f); err != nil {
+			return fmt.Errorf("core: saving model %v: %w", p.key, err)
+		}
+	}
+	if set != nil {
+		f := xmlstore.EncodeInvariants(set, p.key.IP, p.key.Workload)
+		if err := xmlstore.SaveFile(invariantPath(dir, p.key), f); err != nil {
+			return fmt.Errorf("core: saving invariants %v: %w", p.key, err)
+		}
+	}
+	if sigFile != nil {
+		if err := xmlstore.SaveFile(signaturePath(dir, p.key), *sigFile); err != nil {
+			return fmt.Errorf("core: saving signatures %v: %w", p.key, err)
+		}
+	}
+	return nil
+}
+
+// SaveTo persists every profile into dir (created if needed). Profiles save
+// concurrently — each holds only its own lock — and every file is written
+// atomically. The first error is returned, but every profile still gets its
+// save attempt, so one bad artefact does not abandon the rest of the store.
 func (s *System) SaveTo(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for ctx, d := range s.detectors {
-		f := xmlstore.EncodeModel(d, ctx.IP, ctx.Workload)
-		if err := xmlstore.SaveFile(modelPath(dir, ctx), f); err != nil {
-			return fmt.Errorf("core: saving model %v: %w", ctx, err)
-		}
+	profiles := s.Profiles()
+	errs := make([]error, len(profiles))
+	var wg sync.WaitGroup
+	for i, p := range profiles {
+		wg.Add(1)
+		go func(i int, p *Profile) {
+			defer wg.Done()
+			errs[i] = p.SaveTo(dir)
+		}(i, p)
 	}
-	for ctx, set := range s.invariants {
-		f := xmlstore.EncodeInvariants(set, ctx.IP, ctx.Workload)
-		if err := xmlstore.SaveFile(invariantPath(dir, ctx), f); err != nil {
-			return fmt.Errorf("core: saving invariants %v: %w", ctx, err)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
-	}
-	if err := xmlstore.SaveFile(signaturePath(dir), xmlstore.EncodeSignatures(&s.sigs)); err != nil {
-		return fmt.Errorf("core: saving signatures: %w", err)
 	}
 	return nil
 }
@@ -140,7 +183,9 @@ func (r *LoadReport) String() string {
 }
 
 // LoadFrom restores models, invariants and signatures previously written by
-// SaveTo. Loaded artefacts replace in-memory ones with the same context.
+// SaveTo (per-profile files, or a legacy combined signatures.xml). Loaded
+// artefacts replace in-memory ones in the profile of the same context; on a
+// no-context system everything lands in the single global profile.
 //
 // Recovery is per-file: a truncated, empty, malformed or newer-versioned
 // file is skipped and reported in the returned LoadReport instead of
@@ -156,8 +201,6 @@ func (s *System) LoadFrom(dir string) (*LoadReport, error) {
 	skip := func(name string, err error) {
 		rep.Skipped = append(rep.Skipped, SkippedFile{Name: name, Err: err})
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, e := range entries {
 		name := e.Name()
 		full := filepath.Join(dir, name)
@@ -173,7 +216,7 @@ func (s *System) LoadFrom(dir string) (*LoadReport, error) {
 				skip(name, fmt.Errorf("core: decoding %s: %w", name, err))
 				continue
 			}
-			s.detectors[loadedCtx(f.Type, f.IP)] = d
+			s.Profile(loadedCtx(f.Type, f.IP)).setDetector(d)
 			rep.Models++
 		case strings.HasPrefix(name, "invariants-") && strings.HasSuffix(name, ".xml"):
 			var f xmlstore.InvariantFile
@@ -186,9 +229,9 @@ func (s *System) LoadFrom(dir string) (*LoadReport, error) {
 				skip(name, fmt.Errorf("core: decoding %s: %w", name, err))
 				continue
 			}
-			s.invariants[loadedCtx(f.Type, f.IP)] = set
+			s.Profile(loadedCtx(f.Type, f.IP)).setInvariants(set)
 			rep.Invariants++
-		case name == "signatures.xml":
+		case strings.HasPrefix(name, "signatures") && strings.HasSuffix(name, ".xml"):
 			var f xmlstore.SignatureFile
 			if err := xmlstore.LoadFile(full, &f); err != nil {
 				skip(name, fmt.Errorf("core: loading %s: %w", name, err))
@@ -200,7 +243,7 @@ func (s *System) LoadFrom(dir string) (*LoadReport, error) {
 				continue
 			}
 			for _, entry := range db.Entries() {
-				s.sigs.Add(entry)
+				s.Profile(loadedCtx(entry.Workload, entry.IP)).addSignature(entry)
 				rep.Signatures++
 			}
 		}
@@ -208,7 +251,7 @@ func (s *System) LoadFrom(dir string) (*LoadReport, error) {
 	return rep, nil
 }
 
-// loadedCtx rebuilds a storage key from persisted fields.
+// loadedCtx rebuilds a profile key from persisted fields.
 func loadedCtx(workloadType, ip string) Context {
 	return Context{Workload: workloadType, IP: ip}
 }

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"invarnetx/internal/invariant"
+	"invarnetx/internal/metrics"
+	"invarnetx/internal/mic"
+	"invarnetx/internal/signature"
+	"invarnetx/internal/stats"
+)
+
+// TestCleanWindowDiagnosisPinned reimplements the pre-profile clean-window
+// pipeline inline (batch-scored matrix → Violations → context-scoped Match
+// → BestProblem → TopK) and pins Diagnose bit-identical to it: same tuple,
+// nil Known, Coverage 1, and the exact same ranked causes with the exact
+// same scores. The masked-first unification must make the clean window the
+// all-known case, not a slightly different computation.
+func TestCleanWindowDiagnosisPinned(t *testing.T) {
+	ctx := Context{Workload: "wordcount", IP: "10.0.0.2"}
+	s := trainSystem(t, DefaultConfig(), ctx, 810)
+	rng := stats.NewRNG(811)
+	faultA := map[int]bool{0: true, 1: true}
+	faultB := map[int]bool{5: true, 6: true, 7: true}
+	sigWinA := synthTrace(rng.Fork(1), 40, 8, faultA)
+	sigWinB := synthTrace(rng.Fork(2), 40, 8, faultB)
+	if err := s.BuildSignature(ctx, "fault-a", sigWinA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BuildSignature(ctx, "fault-b", sigWinB); err != nil {
+		t.Fatal(err)
+	}
+	ab := synthTrace(rng.Fork(3), 40, 8, faultA)
+
+	// Legacy pipeline, inline. The old clean path preferred the batch
+	// scorer (DefaultConfig wires MICBatch) and matched with nil mask.
+	set, err := s.Invariants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	legacyMatrix := func(rows [][]float64) *invariant.Matrix {
+		scorer, err := MICBatch(mic.DefaultConfig())(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mat, err := invariant.ComputeMatrixScored(len(rows), scorer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mat
+	}
+	var legacyDB signature.DB
+	for _, sw := range []struct {
+		problem string
+		win     *metrics.Trace
+	}{{"fault-a", sigWinA}, {"fault-b", sigWinB}} {
+		raw, err := set.Violations(legacyMatrix(sw.win.Rows), cfg.Epsilon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacyDB.Add(signature.Entry{Tuple: raw, Problem: sw.problem, IP: ctx.IP, Workload: ctx.Workload})
+	}
+	rawAb, err := set.Violations(legacyMatrix(ab.Rows), cfg.Epsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyTuple := signature.Tuple(rawAb)
+	matches, err := legacyDB.Match(legacyTuple, ctx.IP, ctx.Workload, cfg.Similarity, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyCauses := signature.BestProblem(matches)
+	if cfg.TopK > 0 && len(legacyCauses) > cfg.TopK {
+		legacyCauses = legacyCauses[:cfg.TopK]
+	}
+
+	diag, err := s.Diagnose(ctx, ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Known != nil || diag.Unknown != nil {
+		t.Errorf("clean window: Known=%v Unknown=%v, want both nil", diag.Known, diag.Unknown)
+	}
+	if diag.Coverage != 1 {
+		t.Errorf("clean window Coverage = %v, want exactly 1", diag.Coverage)
+	}
+	if diag.Tuple.String() != legacyTuple.String() {
+		t.Errorf("tuple %s differs from legacy %s", diag.Tuple, legacyTuple)
+	}
+	if len(diag.Causes) != len(legacyCauses) {
+		t.Fatalf("got %d causes, legacy %d", len(diag.Causes), len(legacyCauses))
+	}
+	for i, c := range diag.Causes {
+		if c.Problem != legacyCauses[i].Problem || c.Score != legacyCauses[i].Score {
+			t.Errorf("cause %d: got %s %v, legacy %s %v",
+				i, c.Problem, c.Score, legacyCauses[i].Problem, legacyCauses[i].Score)
+		}
+	}
+	if diag.RootCause() != "fault-a" {
+		t.Errorf("root cause = %q, want fault-a", diag.RootCause())
+	}
+	if diag.Confidence != legacyCauses[0].Score {
+		t.Errorf("Confidence = %v, want top legacy score %v", diag.Confidence, legacyCauses[0].Score)
+	}
+}
+
+// TestConcurrentMultiContextPipeline drives N contexts from N goroutines
+// simultaneously — each trains, builds a signature, persists into a shared
+// store and diagnoses — exercising the striped registry, the per-profile
+// locks and concurrent SaveTo under the race detector. A fresh system must
+// then restore every profile from the shared store.
+func TestConcurrentMultiContextPipeline(t *testing.T) {
+	const n = 8
+	dir := t.TempDir()
+	s := New(DefaultConfig())
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := Context{Workload: "wordcount", IP: fmt.Sprintf("10.0.0.%d", g+2)}
+			rng := stats.NewRNG(900 + int64(g))
+			var runs []*metrics.Trace
+			var cpis [][]float64
+			for i := 0; i < 3; i++ {
+				tr := synthTrace(rng.Fork(int64(i)), 60, 8, nil)
+				runs = append(runs, tr)
+				cpis = append(cpis, tr.CPI)
+			}
+			if err := s.TrainPerformanceModel(ctx, cpis); err != nil {
+				errs[g] = err
+				return
+			}
+			if err := s.TrainInvariants(ctx, runs); err != nil {
+				errs[g] = err
+				return
+			}
+			ab := synthTrace(rng.Fork(10), 60, 8, map[int]bool{1: true, 2: true})
+			if err := s.BuildSignature(ctx, "fault-x", ab); err != nil {
+				errs[g] = err
+				return
+			}
+			if err := s.Profile(ctx).SaveTo(dir); err != nil {
+				errs[g] = err
+				return
+			}
+			diag, err := s.Diagnose(ctx, synthTrace(rng.Fork(11), 60, 8, map[int]bool{1: true, 2: true}))
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if diag.RootCause() != "fault-x" {
+				errs[g] = fmt.Errorf("context %v diagnosed %q, want fault-x", ctx, diag.RootCause())
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if got := len(s.Profiles()); got != n {
+		t.Errorf("registry holds %d profiles, want %d", got, n)
+	}
+	if got := s.SignatureCount(); got != n {
+		t.Errorf("signature count %d, want %d", got, n)
+	}
+
+	restored := New(DefaultConfig())
+	rep, err := restored.LoadFrom(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partial() {
+		t.Fatalf("restore was partial: %s", rep)
+	}
+	if rep.Models != n || rep.Invariants != n || rep.Signatures != n {
+		t.Errorf("restored %d/%d/%d artefacts, want %d each", rep.Models, rep.Invariants, rep.Signatures, n)
+	}
+	for g := 0; g < n; g++ {
+		ctx := Context{Workload: "wordcount", IP: fmt.Sprintf("10.0.0.%d", g+2)}
+		if _, err := restored.Detector(ctx); err != nil {
+			t.Errorf("restored detector %v: %v", ctx, err)
+		}
+	}
+}
+
+// TestTrainingPoolDedupe pins the satellite fix: retraining over the same
+// traces must not grow the pools or the cache footprint.
+func TestTrainingPoolDedupe(t *testing.T) {
+	ctx := Context{Workload: "wordcount", IP: "10.0.0.2"}
+	s := New(Config{UseContext: true})
+	rng := stats.NewRNG(820)
+	var runs []*metrics.Trace
+	var cpis [][]float64
+	for i := 0; i < 3; i++ {
+		tr := synthTrace(rng.Fork(int64(i)), 60, 8, nil)
+		runs = append(runs, tr)
+		cpis = append(cpis, tr.CPI)
+	}
+	for round := 0; round < 3; round++ {
+		if err := s.TrainPerformanceModel(ctx, cpis); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.TrainInvariants(ctx, runs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Profile(ctx).Stats()
+	if st.CPIRuns != 3 {
+		t.Errorf("CPI pool holds %d runs after 3 identical trainings, want 3", st.CPIRuns)
+	}
+	if st.Windows != 3 {
+		t.Errorf("window pool holds %d windows after 3 identical trainings, want 3", st.Windows)
+	}
+}
+
+// TestTrainingPoolCap pins the configurable bound: the pool keeps the
+// newest PoolCap items, evicting the oldest.
+func TestTrainingPoolCap(t *testing.T) {
+	p := newTrainingPool[int](2)
+	if !p.add(1, 10) || !p.add(2, 20) {
+		t.Fatal("fresh items must be accepted")
+	}
+	if p.add(1, 10) {
+		t.Error("duplicate fingerprint must be rejected")
+	}
+	if !p.add(3, 30) {
+		t.Fatal("third item must be accepted")
+	}
+	if got := p.snapshot(); len(got) != 2 || got[0] != 20 || got[1] != 30 {
+		t.Errorf("pool = %v, want [20 30] (oldest evicted)", got)
+	}
+	// The evicted fingerprint is forgotten, so the item can return.
+	if !p.add(1, 10) {
+		t.Error("re-adding an evicted item must succeed")
+	}
+
+	// End-to-end: a capped system keeps only the newest windows.
+	ctx := Context{Workload: "wordcount", IP: "10.0.0.2"}
+	s := New(Config{UseContext: true, PoolCap: 2})
+	rng := stats.NewRNG(830)
+	for i := 0; i < 4; i++ {
+		if err := s.TrainInvariants(ctx, []*metrics.Trace{synthTrace(rng.Fork(int64(i)), 60, 8, nil)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Profile(ctx).Stats(); st.Windows != 2 {
+		t.Errorf("capped window pool holds %d, want 2", st.Windows)
+	}
+
+	// Negative PoolCap disables the bound.
+	unbounded := New(Config{UseContext: true, PoolCap: -1})
+	for i := 0; i < 4; i++ {
+		if err := unbounded.TrainInvariants(ctx, []*metrics.Trace{synthTrace(rng.Fork(100 + int64(i)), 60, 8, nil)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := unbounded.Profile(ctx).Stats(); st.Windows != 4 {
+		t.Errorf("unbounded window pool holds %d, want 4", st.Windows)
+	}
+}
+
+// TestSignatureSnapshotIsolated pins the SignatureDB data-race fix: the
+// snapshot is a deep copy, safe to read while writers keep adding, and
+// mutating it cannot touch the live databases.
+func TestSignatureSnapshotIsolated(t *testing.T) {
+	ctx := Context{Workload: "wordcount", IP: "10.0.0.2"}
+	s := trainSystem(t, DefaultConfig(), ctx, 840)
+	rng := stats.NewRNG(841)
+	if err := s.BuildSignature(ctx, "fault-a", synthTrace(rng.Fork(1), 40, 8, map[int]bool{0: true})); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.SignatureSnapshot()
+	if snap.Len() != 1 {
+		t.Fatalf("snapshot holds %d entries, want 1", snap.Len())
+	}
+	snap.Add(signature.Entry{Tuple: make(signature.Tuple, 3), Problem: "bogus"})
+	if s.SignatureCount() != 1 {
+		t.Error("mutating the snapshot leaked into the live database")
+	}
+
+	// Concurrent writers vs snapshot readers: must be race-clean.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			win := synthTrace(stats.NewRNG(850+int64(g)), 40, 8, map[int]bool{1: true})
+			for i := 0; i < 5; i++ {
+				if err := s.BuildSignature(ctx, fmt.Sprintf("p%d", g), win); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = s.SignatureSnapshot().Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.SignatureCount(); got != 1+4*5 {
+		t.Errorf("signature count %d, want %d", got, 1+4*5)
+	}
+}
+
+// TestProfileRegistry pins registry semantics: stable identity per context,
+// the no-context collapse onto one global profile, and sorted enumeration.
+func TestProfileRegistry(t *testing.T) {
+	s := New(Config{UseContext: true})
+	a := Context{Workload: "sort", IP: "10.0.0.3"}
+	b := Context{Workload: "grep", IP: "10.0.0.2"}
+	if s.Profile(a) != s.Profile(a) {
+		t.Error("same context must yield the same profile")
+	}
+	if s.Profile(a) == s.Profile(b) {
+		t.Error("distinct contexts must yield distinct profiles")
+	}
+	if _, ok := s.lookup(Context{Workload: "never", IP: "trained"}); ok {
+		t.Error("lookup must not materialise profiles")
+	}
+	ps := s.Profiles()
+	if len(ps) != 2 || ps[0].Context() != b || ps[1].Context() != a {
+		t.Errorf("Profiles() = %v, want sorted [%v %v]", ps, b, a)
+	}
+
+	global := New(Config{UseContext: false})
+	if global.Profile(a) != global.Profile(b) {
+		t.Error("no-context system must collapse every context onto one profile")
+	}
+	if got := global.Profile(a).Context(); got != (Context{}) {
+		t.Errorf("global profile key = %v, want zero Context", got)
+	}
+}
+
+// TestDegradedPathUsesBatchAndCache pins the tentpole plumbing the old
+// masked path lacked: a degraded window's analysis is cached (repeat
+// diagnosis hits) and keyed by the validity mask, so a masked window and
+// its unmasked twin never share an entry.
+func TestDegradedPathUsesBatchAndCache(t *testing.T) {
+	ctx := Context{Workload: "wordcount", IP: "10.0.0.2"}
+	s := trainSystem(t, DefaultConfig(), ctx, 860)
+	rng := stats.NewRNG(861)
+	ab := synthTrace(rng.Fork(1), 40, 8, map[int]bool{0: true})
+	masked := synthTrace(rng.Fork(1), 40, 8, map[int]bool{0: true})
+	// Rebuild the same window with a validity mask knocking out metric 3.
+	maskedCopy := metrics.NewTrace("10.0.0.2", "wordcount")
+	for tick := 0; tick < 40; tick++ {
+		row := make([]float64, len(masked.Rows))
+		valid := make([]bool, len(masked.Rows))
+		for m := range masked.Rows {
+			row[m] = masked.Rows[m][tick]
+			valid[m] = m != 3 || tick >= 20
+		}
+		if err := maskedCopy.AddMasked(row, valid, masked.CPI[tick], true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.AssocCacheStats()
+	if _, err := s.Diagnose(ctx, maskedCopy); err != nil {
+		t.Fatal(err)
+	}
+	st := s.AssocCacheStats()
+	if st.Misses != before.Misses+1 {
+		t.Fatalf("degraded window must be cached as a miss: %+v -> %+v", before, st)
+	}
+	if _, err := s.Diagnose(ctx, maskedCopy); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.AssocCacheStats(); got.Hits != st.Hits+1 {
+		t.Errorf("repeat degraded window must hit: %+v -> %+v", st, got)
+	}
+	// The unmasked twin has identical rows but no mask: distinct entry.
+	if _, err := s.Diagnose(ctx, ab); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.AssocCacheStats(); got.Misses != st.Misses+1 {
+		t.Errorf("unmasked twin must not share the masked entry: %+v -> %+v", st, got)
+	}
+}

@@ -201,20 +201,38 @@ func (s *Supervisor) Stop() {
 	s.wg.Wait()
 }
 
-// SuperviseMonitor runs online anomaly detection for ctx under sup: each
-// (re)start builds a fresh Monitor from the trained detector — so a panic
-// cannot leave a half-updated monitor behind — and feeds it CPI samples
-// from samples; an alert invokes onAlert. The job ends when samples closes
-// or the supervisor stops.
+// SuperviseMonitor runs online anomaly detection for ctx under sup (see
+// Profile.SuperviseMonitor). Alerts report the original ctx even when it
+// maps onto the global no-context profile.
 func (s *System) SuperviseMonitor(sup *Supervisor, name string, ctx Context, warmup []float64, samples <-chan float64, onAlert func(Context)) error {
-	if _, err := s.Detector(ctx); err != nil {
+	p, ok := s.lookup(ctx)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNoModel, ctx)
+	}
+	return p.superviseMonitor(ctx, sup, name, warmup, samples, onAlert)
+}
+
+// SuperviseMonitor runs online anomaly detection for this profile under
+// sup: each (re)start builds a fresh Monitor from the trained detector —
+// so a panic cannot leave a half-updated monitor behind — registers it in
+// the profile's monitor registry under the job name, and feeds it CPI
+// samples from samples; an alert invokes onAlert. The job ends (and the
+// monitor detaches) when samples closes or the supervisor stops.
+func (p *Profile) SuperviseMonitor(sup *Supervisor, name string, warmup []float64, samples <-chan float64, onAlert func(Context)) error {
+	return p.superviseMonitor(p.key, sup, name, warmup, samples, onAlert)
+}
+
+func (p *Profile) superviseMonitor(errCtx Context, sup *Supervisor, name string, warmup []float64, samples <-chan float64, onAlert func(Context)) error {
+	if _, err := p.detectorFor(errCtx); err != nil {
 		return err // fail fast: no point supervising an untrainable job
 	}
 	return sup.Supervise(name, func(stop <-chan struct{}) error {
-		m, err := s.NewMonitor(ctx, warmup)
+		m, err := p.newMonitorFor(errCtx, warmup)
 		if err != nil {
 			return err
 		}
+		p.monitors.Attach(name, m)
+		defer p.monitors.Detach(name)
 		for {
 			select {
 			case <-stop:
@@ -224,7 +242,7 @@ func (s *System) SuperviseMonitor(sup *Supervisor, name string, ctx Context, war
 					return nil
 				}
 				if m.Offer(v) && onAlert != nil {
-					onAlert(ctx)
+					onAlert(errCtx)
 				}
 			}
 		}

@@ -16,8 +16,12 @@
 //     of the abnormal window and retrieves the most similar signatures
 //     (Diagnose).
 //
-// Everything is scoped by the operation context (workload type, node IP);
-// Config.UseContext=false gives the ablated variant evaluated in Figs. 9-10.
+// The state of each operation context (workload type, node IP) lives in its
+// own self-synchronised Profile, held in a striped registry: training or
+// diagnosing context A never contends with context B. Config.UseContext =
+// false maps every context onto the single global profile — the ablated
+// variant evaluated in Figs. 9-10 — as the degenerate case of the same
+// machinery, not a separate code path.
 package core
 
 import (
@@ -25,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"sort"
 	"sync"
 
 	"invarnetx/internal/detect"
@@ -62,9 +67,14 @@ type Config struct {
 	// explicitly for a custom measure with a batch form, or leave it nil to
 	// force the per-pair path.
 	BatchAssoc BatchAssociation
-	// AssocCacheSize bounds the per-(context, window) association-matrix
-	// cache: 0 selects DefaultAssocCacheSize, negative disables caching.
+	// AssocCacheSize bounds each profile's association-matrix cache: 0
+	// selects DefaultAssocCacheSize, negative disables caching.
 	AssocCacheSize int
+	// PoolCap bounds each profile's training pools (CPI runs and invariant
+	// windows): 0 selects DefaultPoolCap, negative leaves the pools
+	// unbounded. Appended material is fingerprint-deduplicated either way,
+	// so retraining over the same traces never grows a pool.
+	PoolCap int
 	// Similarity is the tuple-similarity measure for signature retrieval.
 	Similarity signature.Measure
 	// TopK bounds the returned cause list (0 = all).
@@ -89,23 +99,21 @@ func DefaultConfig() Config {
 	}
 }
 
-// System is one InvarNet-X deployment.
+// profileShards is the number of stripes in the profile registry. Lookups
+// take one shard's read lock only; profile state itself is guarded by the
+// profile, so the stripes only serialise registry mutation.
+const profileShards = 16
+
+type profileShard struct {
+	mu       sync.RWMutex
+	profiles map[Context]*Profile
+}
+
+// System is one InvarNet-X deployment: a configuration plus the striped
+// registry of per-context profiles.
 type System struct {
-	cfg   Config
-	cache *assocCache // nil when AssocCacheSize < 0
-
-	mu         sync.RWMutex
-	detectors  map[Context]*detect.Detector
-	invariants map[Context]*invariant.Set
-	sigs       signature.DB
-
-	// Training pools, used when UseContext is false: "InvarNet-X without
-	// operation context ... only contains a single performance model and
-	// signature base" (§4.3), so training material from every context
-	// accumulates into one global model instead of each call replacing
-	// the last.
-	cpiPool    map[Context][][]float64
-	windowPool map[Context][]*metrics.Trace
+	cfg    Config
+	shards [profileShards]profileShard
 }
 
 // Errors reported by the online path.
@@ -141,14 +149,11 @@ func New(cfg Config) *System {
 	if cfg.BatchAssoc == nil {
 		cfg.BatchAssoc = BatchFor(cfg.Assoc)
 	}
-	return &System{
-		cfg:        cfg,
-		cache:      newAssocCache(cfg.AssocCacheSize),
-		detectors:  make(map[Context]*detect.Detector),
-		invariants: make(map[Context]*invariant.Set),
-		cpiPool:    make(map[Context][][]float64),
-		windowPool: make(map[Context][]*metrics.Trace),
+	s := &System{cfg: cfg}
+	for i := range s.shards {
+		s.shards[i].profiles = make(map[Context]*Profile)
 	}
+	return s
 }
 
 // isStockMIC reports whether f is exactly mic.MIC. Func values are not
@@ -164,8 +169,8 @@ func isStockMIC(f invariant.AssociationFunc) bool {
 // Config returns the effective configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// key maps a context to its storage key; without operation context all
-// training pools into one global profile.
+// key maps a context to its profile key; without operation context every
+// context maps onto the single global profile.
 func (s *System) key(ctx Context) Context {
 	if s.cfg.UseContext {
 		return ctx
@@ -173,24 +178,87 @@ func (s *System) key(ctx Context) Context {
 	return Context{}
 }
 
+// shardFor picks the registry stripe of a profile key (FNV-1a over the
+// workload and IP).
+func (s *System) shardFor(key Context) *profileShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key.Workload); i++ {
+		h ^= uint64(key.Workload[i])
+		h *= prime64
+	}
+	h ^= 0xff // separator: ("ab","c") must not collide with ("a","bc")
+	h *= prime64
+	for i := 0; i < len(key.IP); i++ {
+		h ^= uint64(key.IP[i])
+		h *= prime64
+	}
+	return &s.shards[h%profileShards]
+}
+
+// lookup returns ctx's profile if one exists — the read path: online
+// operations on an untrained context must fail with ErrNoModel /
+// ErrNoInvariants, not materialise empty profiles.
+func (s *System) lookup(ctx Context) (*Profile, bool) {
+	key := s.key(ctx)
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	p, ok := sh.profiles[key]
+	sh.mu.RUnlock()
+	return p, ok
+}
+
+// Profile returns ctx's profile, creating it on first use. Without
+// operation context every ctx yields the same global profile.
+func (s *System) Profile(ctx Context) *Profile {
+	key := s.key(ctx)
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	p, ok := sh.profiles[key]
+	sh.mu.RUnlock()
+	if ok {
+		return p
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if p, ok = sh.profiles[key]; ok {
+		return p
+	}
+	p = newProfile(s, key)
+	sh.profiles[key] = p
+	return p
+}
+
+// Profiles returns every registered profile, sorted by context for
+// deterministic iteration.
+func (s *System) Profiles() []*Profile {
+	var out []*Profile
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, p := range sh.profiles {
+			out = append(out, p)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].key.Workload != out[b].key.Workload {
+			return out[a].key.Workload < out[b].key.Workload
+		}
+		return out[a].key.IP < out[b].key.IP
+	})
+	return out
+}
+
 // TrainPerformanceModel fits the ARIMA CPI model and thresholds for ctx
 // from the CPI traces of N normal runs. Without operation context the
 // traces pool with everything trained before, and the single global model
 // is refit on the whole pool.
 func (s *System) TrainPerformanceModel(ctx Context, cpiTraces [][]float64) error {
-	key := s.key(ctx)
-	s.mu.Lock()
-	s.cpiPool[key] = append(s.cpiPool[key], cpiTraces...)
-	pool := s.cpiPool[key]
-	s.mu.Unlock()
-	d, err := detect.Train(pool, s.cfg.Detect)
-	if err != nil {
-		return fmt.Errorf("core: training performance model for %v: %w", ctx, err)
-	}
-	s.mu.Lock()
-	s.detectors[key] = d
-	s.mu.Unlock()
-	return nil
+	return s.Profile(ctx).trainPerformanceModel(ctx, cpiTraces)
 }
 
 // TrainInvariants runs Algorithm 1 for ctx over the metric traces of N
@@ -200,90 +268,51 @@ func (s *System) TrainPerformanceModel(ctx Context, cpiTraces [][]float64) error
 // how the global variant loses most of its invariants on a heterogeneous
 // platform.
 func (s *System) TrainInvariants(ctx Context, runs []*metrics.Trace) error {
-	key := s.key(ctx)
-	s.mu.Lock()
-	s.windowPool[key] = append(s.windowPool[key], runs...)
-	pool := s.windowPool[key]
-	s.mu.Unlock()
-	// Without operation context the whole pool is recomputed on every call;
-	// the association cache turns all but the newly added windows into
-	// lookups.
-	mats := make([]*invariant.Matrix, 0, len(pool))
-	for _, run := range pool {
-		m, err := s.assocMatrix(key, run.Rows)
-		if err != nil {
-			return fmt.Errorf("core: association matrix for %v: %w", ctx, err)
-		}
-		mats = append(mats, m)
-	}
-	set, err := invariant.Select(mats, s.cfg.Tau)
-	if err != nil {
-		return fmt.Errorf("core: invariant selection for %v: %w", ctx, err)
-	}
-	s.mu.Lock()
-	s.invariants[key] = set
-	s.mu.Unlock()
-	return nil
+	return s.Profile(ctx).trainInvariants(ctx, runs)
 }
 
 // Detector returns the trained detector for ctx.
 func (s *System) Detector(ctx Context) (*detect.Detector, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.detectors[s.key(ctx)]
+	p, ok := s.lookup(ctx)
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrNoModel, ctx)
 	}
-	return d, nil
+	return p.detectorFor(ctx)
 }
 
 // Invariants returns the trained invariant set for ctx.
 func (s *System) Invariants(ctx Context) (*invariant.Set, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	set, ok := s.invariants[s.key(ctx)]
+	p, ok := s.lookup(ctx)
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrNoInvariants, ctx)
 	}
-	return set, nil
+	return p.invariantsFor(ctx)
 }
 
 // NewMonitor starts online anomaly detection for a job running under ctx,
 // seeded with the first CPI samples of the run.
 func (s *System) NewMonitor(ctx Context, warmup []float64) (*detect.Monitor, error) {
-	d, err := s.Detector(ctx)
-	if err != nil {
-		return nil, err
+	p, ok := s.lookup(ctx)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoModel, ctx)
 	}
-	return d.NewMonitor(warmup), nil
+	return p.newMonitorFor(ctx, warmup)
 }
 
-// ViolationTuple computes the binary violation tuple of an abnormal metric
-// window against ctx's invariants, along with the violated pairs.
-func (s *System) ViolationTuple(ctx Context, abnormal *metrics.Trace) (signature.Tuple, []invariant.Pair, error) {
-	set, err := s.Invariants(ctx)
-	if err != nil {
-		return nil, nil, err
+// Violations computes the violation report of an abnormal metric window
+// against ctx's invariants — one masked-first pipeline for clean and
+// degraded telemetry alike (see Profile.Violations).
+func (s *System) Violations(ctx Context, abnormal *metrics.Trace) (*ViolationReport, error) {
+	p, ok := s.lookup(ctx)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoInvariants, ctx)
 	}
-	mat, err := s.assocMatrix(s.key(ctx), abnormal.Rows)
-	if err != nil {
-		return nil, nil, err
-	}
-	raw, err := set.Violations(mat, s.cfg.Epsilon)
-	if err != nil {
-		return nil, nil, err
-	}
-	tuple := signature.Tuple(raw)
-	pairs, err := set.ViolatedPairs(mat, s.cfg.Epsilon)
-	if err != nil {
-		return nil, nil, err
-	}
-	return tuple, pairs, nil
+	return p.violations(ctx, abnormal)
 }
 
-// traceDegraded reports whether the abnormal window needs the masked
-// diagnosis path: it carries a validity mask, or raw non-finite samples
-// (telemetry gaps stored as NaN without a mask).
+// traceDegraded reports whether the abnormal window needs pair masking: it
+// carries a validity mask, or raw non-finite samples (telemetry gaps stored
+// as NaN without a mask).
 func traceDegraded(tr *metrics.Trace) bool {
 	if tr.Masked() {
 		return true
@@ -298,59 +327,39 @@ func traceDegraded(tr *metrics.Trace) bool {
 	return false
 }
 
-// ViolationTupleMasked is ViolationTuple under degraded telemetry: pairs
-// whose metrics were unavailable in the window are *unknown* (known[k]
-// false, tuple[k] false) instead of counted as violated. The returned pairs
-// are the known violated ones.
-func (s *System) ViolationTupleMasked(ctx Context, abnormal *metrics.Trace) (signature.Tuple, []bool, []invariant.Pair, error) {
-	set, err := s.Invariants(ctx)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	mat, pm, err := invariant.ComputeMaskedMatrix(abnormal.Rows, abnormal.Valid, s.cfg.Assoc, 0)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	raw, known, err := set.ViolationsMasked(mat, s.cfg.Epsilon, pm)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	var pairs []invariant.Pair
-	for k, p := range set.SortedPairs() {
-		if raw[k] && known[k] {
-			pairs = append(pairs, p)
-		}
-	}
-	return signature.Tuple(raw), known, pairs, nil
-}
-
 // BuildSignature records the violation tuple of an investigated problem in
 // the signature database: "Once the performance problem is resolved, a new
 // signature will be added into the signature base."
 func (s *System) BuildSignature(ctx Context, problem string, abnormal *metrics.Trace) error {
-	tuple, _, err := s.ViolationTuple(ctx, abnormal)
-	if err != nil {
-		return err
+	p, ok := s.lookup(ctx)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNoInvariants, ctx)
 	}
-	entry := signature.Entry{Tuple: tuple, Problem: problem, IP: ctx.IP, Workload: ctx.Workload}
-	if !s.cfg.UseContext {
-		entry.IP, entry.Workload = "", ""
-	}
-	s.mu.Lock()
-	s.sigs.Add(entry)
-	s.mu.Unlock()
-	return nil
+	return p.buildSignature(ctx, problem, abnormal)
 }
 
-// SignatureCount returns the number of stored signatures.
+// SignatureCount returns the number of stored signatures across profiles.
 func (s *System) SignatureCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sigs.Len()
+	n := 0
+	for _, p := range s.Profiles() {
+		n += p.SignatureCount()
+	}
+	return n
 }
 
-// SignatureDB exposes the signature database (for persistence).
-func (s *System) SignatureDB() *signature.DB { return &s.sigs }
+// SignatureSnapshot returns a deep copy of the signature entries of every
+// profile, in deterministic profile order. Unlike the live per-profile
+// databases it is safe to read, match and audit while concurrent
+// BuildSignature calls keep writing.
+func (s *System) SignatureSnapshot() *signature.DB {
+	out := &signature.DB{}
+	for _, p := range s.Profiles() {
+		for _, e := range p.SignatureSnapshot().Entries() {
+			out.Add(e)
+		}
+	}
+	return out
+}
 
 // Diagnosis is the output of cause inference: a ranked cause list plus the
 // violated-pair hints for unknown problems.
@@ -400,75 +409,36 @@ func pairName(p invariant.Pair) string {
 	return fmt.Sprintf("m%d-m%d", p.I, p.J)
 }
 
-// Diagnose runs cause inference on an abnormal metric window for ctx. A
-// window with missing or masked samples takes the degraded path: invariants
-// whose metrics were unavailable are reported unknown rather than violated,
-// signature similarity is computed only over the known invariants, and the
-// resulting scores and Confidence are weighted by the checkable fraction.
+// Diagnose runs cause inference on an abnormal metric window for ctx (see
+// Profile.Diagnose for the pipeline).
 func (s *System) Diagnose(ctx Context, abnormal *metrics.Trace) (*Diagnosis, error) {
-	var (
-		tuple signature.Tuple
-		known []bool
-		pairs []invariant.Pair
-		err   error
-	)
-	degraded := traceDegraded(abnormal)
-	if degraded {
-		tuple, known, pairs, err = s.ViolationTupleMasked(ctx, abnormal)
-	} else {
-		tuple, pairs, err = s.ViolationTuple(ctx, abnormal)
+	p, ok := s.lookup(ctx)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoInvariants, ctx)
 	}
-	if err != nil {
-		return nil, err
+	return p.diagnose(ctx, abnormal)
+}
+
+// ProfileStats snapshots every registered profile for reporting, in
+// deterministic context order.
+func (s *System) ProfileStats() []ProfileStats {
+	profiles := s.Profiles()
+	out := make([]ProfileStats, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Stats()
 	}
-	diag := &Diagnosis{Context: ctx, Tuple: tuple, Known: known, Coverage: 1}
-	for _, p := range pairs {
-		diag.Hints = append(diag.Hints, pairName(p))
+	return out
+}
+
+// AssocCacheStats aggregates the association-cache counters of every
+// profile. Zero-valued when caching is disabled.
+func (s *System) AssocCacheStats() CacheStats {
+	var st CacheStats
+	for _, p := range s.Profiles() {
+		ps := p.CacheStats()
+		st.Hits += ps.Hits
+		st.Misses += ps.Misses
+		st.Entries += ps.Entries
 	}
-	if known != nil {
-		set, err := s.Invariants(ctx)
-		if err != nil {
-			return nil, err
-		}
-		checkable := 0
-		for k, ok := range known {
-			if ok {
-				checkable++
-			} else {
-				diag.Unknown = append(diag.Unknown, pairName(set.SortedPairs()[k]))
-			}
-		}
-		if len(known) > 0 {
-			diag.Coverage = float64(checkable) / float64(len(known))
-		}
-	}
-	ip, wl := ctx.IP, ctx.Workload
-	if !s.cfg.UseContext {
-		ip, wl = "", ""
-	}
-	s.mu.RLock()
-	matches, err := s.sigs.MatchMasked(tuple, known, ip, wl, s.cfg.Similarity, 0)
-	s.mu.RUnlock()
-	if err != nil {
-		if errors.Is(err, signature.ErrEmpty) {
-			return diag, nil // hints only
-		}
-		return nil, err
-	}
-	ranked := signature.BestProblem(matches)
-	if s.cfg.TopK > 0 && len(ranked) > s.cfg.TopK {
-		ranked = ranked[:s.cfg.TopK]
-	}
-	// Weight similarity by the checkable fraction: a perfect match found
-	// while blind to half the invariants is only half the evidence.
-	if diag.Coverage < 1 {
-		for i := range ranked {
-			ranked[i].Score *= diag.Coverage
-		}
-	}
-	diag.Causes = ranked
-	if len(ranked) > 0 {
-		diag.Confidence = ranked[0].Score
-	}
-	return diag, nil
+	return st
 }

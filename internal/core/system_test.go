@@ -93,8 +93,8 @@ func TestUntrainedContextErrors(t *testing.T) {
 	if _, err := s.NewMonitor(ctx, nil); err == nil {
 		t.Error("monitor without model should error")
 	}
-	if _, _, err := s.ViolationTuple(ctx, synthTrace(stats.NewRNG(1), 50, 8, nil)); err == nil {
-		t.Error("violation tuple without invariants should error")
+	if _, err := s.Violations(ctx, synthTrace(stats.NewRNG(1), 50, 8, nil)); err == nil {
+		t.Error("violation report without invariants should error")
 	}
 }
 
@@ -335,11 +335,11 @@ func TestContextString(t *testing.T) {
 
 func TestDiagnosisTupleMatchesSignature(t *testing.T) {
 	// The tuple returned in the diagnosis is the one matched against the
-	// database (sanity link between ViolationTuple and Diagnose).
+	// database (sanity link between Violations and Diagnose).
 	ctx := Context{Workload: "wordcount", IP: "10.0.0.2"}
 	s := trainSystem(t, DefaultConfig(), ctx, 615)
 	ab := synthTrace(stats.NewRNG(616), 40, 8, map[int]bool{2: true})
-	tuple, _, err := s.ViolationTuple(ctx, ab)
+	rep, err := s.Violations(ctx, ab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,8 +347,8 @@ func TestDiagnosisTupleMatchesSignature(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if diag.Tuple.String() != signature.Tuple(tuple).String() {
-		t.Error("diagnosis tuple differs from ViolationTuple")
+	if diag.Tuple.String() != signature.Tuple(rep.Tuple).String() {
+		t.Error("diagnosis tuple differs from Violations report")
 	}
 }
 

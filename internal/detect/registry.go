@@ -1,0 +1,64 @@
+package detect
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry tracks the live named monitors of one diagnosis scope (in
+// InvarNet-X, one operation-context profile). Supervised monitor jobs
+// attach the monitor of each (re)start under the job name and detach it
+// when the job ends, so operators can enumerate what is being watched
+// right now. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	monitors map[string]*Monitor
+}
+
+// NewRegistry returns an empty monitor registry.
+func NewRegistry() *Registry {
+	return &Registry{monitors: make(map[string]*Monitor)}
+}
+
+// Attach registers m under name, replacing any monitor previously attached
+// under the same name (a supervised restart attaches its fresh monitor over
+// the panicked one).
+func (r *Registry) Attach(name string, m *Monitor) {
+	r.mu.Lock()
+	r.monitors[name] = m
+	r.mu.Unlock()
+}
+
+// Detach removes the monitor registered under name, if any.
+func (r *Registry) Detach(name string) {
+	r.mu.Lock()
+	delete(r.monitors, name)
+	r.mu.Unlock()
+}
+
+// Get returns the monitor registered under name.
+func (r *Registry) Get(name string) (*Monitor, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.monitors[name]
+	return m, ok
+}
+
+// Names returns the attached monitor names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.monitors))
+	for name := range r.monitors {
+		out = append(out, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns how many monitors are attached.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.monitors)
+}

@@ -1,0 +1,76 @@
+package detect
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func testMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	normal := make([]float64, 60)
+	for i := range normal {
+		normal[i] = 1.0 + 0.01*float64(i%5)
+	}
+	d, err := Train([][]float64{normal}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.NewMonitor(normal[:8])
+}
+
+func TestRegistryAttachDetach(t *testing.T) {
+	r := NewRegistry()
+	m1, m2 := testMonitor(t), testMonitor(t)
+	r.Attach("job-b", m1)
+	r.Attach("job-a", m2)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if names := r.Names(); len(names) != 2 || names[0] != "job-a" || names[1] != "job-b" {
+		t.Errorf("Names = %v, want sorted [job-a job-b]", names)
+	}
+	if got, ok := r.Get("job-b"); !ok || got != m1 {
+		t.Error("Get should return the attached monitor")
+	}
+	// A restart attaches a fresh monitor over the old one.
+	m3 := testMonitor(t)
+	r.Attach("job-b", m3)
+	if got, _ := r.Get("job-b"); got != m3 {
+		t.Error("re-Attach should replace the monitor")
+	}
+	if r.Len() != 2 {
+		t.Errorf("re-Attach must not grow the registry: Len = %d", r.Len())
+	}
+	r.Detach("job-b")
+	if _, ok := r.Get("job-b"); ok {
+		t.Error("detached monitor should be gone")
+	}
+	r.Detach("never-attached") // must be a no-op, not a panic
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	m := testMonitor(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("job-%d", g)
+			for i := 0; i < 50; i++ {
+				r.Attach(name, m)
+				r.Get(name)
+				r.Names()
+				r.Detach(name)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Errorf("Len = %d after balanced attach/detach, want 0", r.Len())
+	}
+}

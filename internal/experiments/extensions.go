@@ -306,11 +306,11 @@ func (r *Runner) RunContrast(w workload.Type, tuplesPerFault int) (*ContrastResu
 			if err != nil {
 				return nil, err
 			}
-			tu, _, err := sys.ViolationTuple(core.Context{Workload: string(w), IP: res.TargetIP}, win)
+			vrep, err := sys.Violations(core.Context{Workload: string(w), IP: res.TargetIP}, win)
 			if err != nil {
 				return nil, err
 			}
-			tuples[kind] = append(tuples[kind], tu)
+			tuples[kind] = append(tuples[kind], vrep.Tuple)
 		}
 	}
 	out := &ContrastResult{Workload: w, Invariants: set.Len()}

@@ -9,6 +9,8 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"invarnetx/internal/cluster"
 	"invarnetx/internal/core"
@@ -318,8 +320,10 @@ func (r *Runner) TrainSystem(w workload.Type) (*core.System, []*RunResult, error
 	for ip := range runs[0].Traces {
 		ips = append(ips, ip)
 	}
-	for _, ip := range ips {
+	sort.Strings(ips)
+	trainOne := func(ip string) error {
 		ctx := core.Context{Workload: string(w), IP: ip}
+		prof := sys.Profile(ctx)
 		var cpis [][]float64
 		var windows []*metrics.Trace
 		for _, res := range runs {
@@ -335,10 +339,34 @@ func (r *Runner) TrainSystem(w workload.Type) (*core.System, []*RunResult, error
 			// windowed association genuinely fluctuates.
 			windows = append(windows, r.trainWindows(tr)...)
 		}
-		if err := sys.TrainPerformanceModel(ctx, cpis); err != nil {
-			return nil, nil, err
+		if err := prof.TrainPerformanceModel(cpis); err != nil {
+			return err
 		}
-		if err := sys.TrainInvariants(ctx, windows); err != nil {
+		return prof.TrainInvariants(windows)
+	}
+	if !r.opts.Config.UseContext {
+		// Every node feeds the single global profile; keep the pooled
+		// accumulation sequential so the final refit sees the whole pool.
+		for _, ip := range ips {
+			if err := trainOne(ip); err != nil {
+				return nil, nil, err
+			}
+		}
+		return sys, runs, nil
+	}
+	// Per-context profiles are independent: train every node concurrently.
+	errs := make([]error, len(ips))
+	var wg sync.WaitGroup
+	for i, ip := range ips {
+		wg.Add(1)
+		go func(i int, ip string) {
+			defer wg.Done()
+			errs[i] = trainOne(ip)
+		}(i, ip)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return nil, nil, err
 		}
 	}

@@ -260,6 +260,18 @@ func (k *PairMask) KnownCount() int {
 // (minSamples <= 0 selects DefaultMinSamples); other pairs score 0 and are
 // reported unknown in the returned mask.
 func ComputeMaskedMatrix(rows [][]float64, valid [][]bool, assoc AssociationFunc, minSamples int) (*Matrix, *PairMask, error) {
+	return ComputeMaskedMatrixScored(rows, valid, assoc, nil, minSamples)
+}
+
+// ComputeMaskedMatrixScored is ComputeMaskedMatrix with a batch fast path:
+// a pair whose samples are all usable (full overlap) is scored through
+// scorer — typically a mic.Batch prepared once over the raw rows, sharing
+// each metric's sort/partition work — instead of a per-pair assoc call over
+// a compacted copy. Pairs with partial overlap still compact the surviving
+// ticks and fall back to assoc, since the scorer's preprocessing covers the
+// full rows only. A nil scorer sends every pair down the assoc path,
+// reducing to ComputeMaskedMatrix exactly.
+func ComputeMaskedMatrixScored(rows [][]float64, valid [][]bool, assoc AssociationFunc, scorer PairScorer, minSamples int) (*Matrix, *PairMask, error) {
 	m, n, err := validateRows(rows)
 	if err != nil {
 		return nil, nil, err
@@ -296,7 +308,14 @@ func ComputeMaskedMatrix(rows [][]float64, valid [][]bool, assoc AssociationFunc
 			if len(xs) < minSamples {
 				return // unknown: mask stays false, score stays 0
 			}
-			a.Set(i, j, assoc(xs, ys))
+			if scorer != nil && len(xs) == n {
+				// Full overlap: the compacted series equal the raw rows, so
+				// the batch scorer's answer is the same value without the
+				// per-pair preprocessing.
+				a.Set(i, j, scorer.Score(i, j))
+			} else {
+				a.Set(i, j, assoc(xs, ys))
+			}
 			mask.Set(i, j, true)
 		}
 	})

@@ -117,6 +117,64 @@ func TestComputeMaskedMatrixNaNExcluded(t *testing.T) {
 	}
 }
 
+// countingScorer records which pairs it was asked to score.
+type countingScorer struct {
+	rows   [][]float64
+	scored map[Pair]bool
+}
+
+func (c *countingScorer) Score(i, j int) float64 {
+	c.scored[Pair{i, j}] = true
+	return testAssoc(c.rows[i], c.rows[j])
+}
+
+func TestComputeMaskedMatrixScored(t *testing.T) {
+	n := 12
+	rows := make([][]float64, 4)
+	valid := make([][]bool, 4)
+	for m := range rows {
+		rows[m] = make([]float64, n)
+		valid[m] = make([]bool, n)
+		for t := 0; t < n; t++ {
+			rows[m][t] = float64(t + 2*m)
+			valid[m][t] = true
+		}
+	}
+	valid[3][0] = false // metric 3 has partial overlap everywhere
+
+	plainMat, plainMask, err := ComputeMaskedMatrix(rows, valid, testAssoc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &countingScorer{rows: rows, scored: make(map[Pair]bool)}
+	scoredMat, scoredMask, err := ComputeMaskedMatrixScored(rows, valid, testAssoc, sc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scorer computes the same measure, so results must be identical
+	// to the nil-scorer path pair for pair.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if scoredMat.Get(i, j) != plainMat.Get(i, j) {
+				t.Errorf("pair (%d,%d): scored %v, plain %v", i, j, scoredMat.Get(i, j), plainMat.Get(i, j))
+			}
+			if scoredMask.OK(i, j) != plainMask.OK(i, j) {
+				t.Errorf("pair (%d,%d): scored known=%v, plain known=%v", i, j, scoredMask.OK(i, j), plainMask.OK(i, j))
+			}
+		}
+	}
+	// Only full-overlap pairs may go through the scorer; every pair
+	// touching metric 3 (partial overlap) must take the assoc fallback.
+	for p := range sc.scored {
+		if p.I == 3 || p.J == 3 {
+			t.Errorf("partial-overlap pair %v went through the batch scorer", p)
+		}
+	}
+	if !sc.scored[Pair{0, 1}] {
+		t.Error("full-overlap pair (0,1) should use the batch scorer")
+	}
+}
+
 func TestViolationsMasked(t *testing.T) {
 	base := map[Pair]float64{
 		{0, 1}: 0.9,

@@ -193,6 +193,19 @@ func (db *DB) Add(e Entry) {
 // Len returns the number of stored signatures.
 func (db *DB) Len() int { return len(db.entries) }
 
+// Clone returns a deep copy of the database: entries (tuples included) and
+// MinScore. Callers holding a lock around Clone get a snapshot they can
+// read, match and audit without further synchronisation against writers of
+// the original.
+func (db *DB) Clone() *DB {
+	out := &DB{MinScore: db.MinScore}
+	out.entries = make([]Entry, 0, len(db.entries))
+	for _, e := range db.entries {
+		out.Add(e)
+	}
+	return out
+}
+
 // Entries returns a copy of all stored signatures.
 func (db *DB) Entries() []Entry {
 	return append([]Entry(nil), db.entries...)

@@ -166,16 +166,28 @@ type SignatureEntry struct {
 	Type    string `xml:"type"`
 }
 
-// SignatureFile is the persisted signature database.
+// SignatureFile is the persisted signature database. IP and Type scope a
+// per-profile file (both empty for the global profile or a legacy combined
+// database); entry routing still goes by the per-entry fields, so legacy
+// combined files and per-profile files decode identically.
 type SignatureFile struct {
 	XMLName xml.Name         `xml:"signature-database"`
 	Version int              `xml:"version,attr"`
+	IP      string           `xml:"ip,omitempty"`
+	Type    string           `xml:"type,omitempty"`
 	Entries []SignatureEntry `xml:"signature"`
 }
 
 // EncodeSignatures converts a signature database into its persistable form.
 func EncodeSignatures(db *signature.DB) SignatureFile {
-	f := SignatureFile{Version: FormatVersion}
+	return EncodeSignaturesFor(db, "", "")
+}
+
+// EncodeSignaturesFor is EncodeSignatures with the owning profile's scope
+// stamped at file level, making a per-profile signature file self-describing
+// even when read outside LoadFrom.
+func EncodeSignaturesFor(db *signature.DB, ip, workloadType string) SignatureFile {
+	f := SignatureFile{Version: FormatVersion, IP: ip, Type: workloadType}
 	for _, e := range db.Entries() {
 		f.Entries = append(f.Entries, SignatureEntry{
 			Tuple: e.Tuple.String(), Problem: e.Problem, IP: e.IP, Type: e.Workload,

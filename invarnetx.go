@@ -48,9 +48,15 @@ import (
 
 // Diagnosis system.
 type (
-	// System is an InvarNet-X deployment: per-context performance models,
-	// invariant sets and the shared signature database.
+	// System is an InvarNet-X deployment: a striped registry of
+	// per-context profiles.
 	System = core.System
+	// Profile is the self-contained diagnosis state of one operation
+	// context: detector, invariant set, signatures, training pools,
+	// association cache and live monitors.
+	Profile = core.Profile
+	// ProfileStats is an operator-facing snapshot of one profile.
+	ProfileStats = core.ProfileStats
 	// Config parameterises a System (thresholds, association measure,
 	// similarity, operation-context usage).
 	Config = core.Config
@@ -58,6 +64,9 @@ type (
 	Context = core.Context
 	// Diagnosis is a ranked root-cause list plus violated-pair hints.
 	Diagnosis = core.Diagnosis
+	// ViolationReport is the masked-first violation analysis of one
+	// abnormal window (tuple, known mask, violated pairs, coverage).
+	ViolationReport = core.ViolationReport
 	// Detector is a trained CPI anomaly detector.
 	Detector = detect.Detector
 	// Monitor is the online anomaly-detection state for one job.
