@@ -6,7 +6,10 @@
 #                        written as a comparable JSON baseline
 #   make bench-compare — rerun the tracked benches and fail on a >20%
 #                        regression against benchmarks/baseline.json
-#   make check         — all tiers: test, race, bench comparison
+#   make smoke         — boot invarnetd on an ephemeral port, run the load
+#                        generator against the live socket, assert /healthz
+#                        and /v1/stats sanity, drain and persist cleanly
+#   make check         — all tiers: test, race, smoke, bench comparison
 #
 # The race tier exists because the core is concurrent by design (striped
 # profile registry, supervised monitor goroutines, parallel association
@@ -25,8 +28,12 @@ GO ?= go
 # inside the 20% comparison threshold; 200x was too jittery to gate on.
 BENCH_ITERS ?= 2000x
 BENCH_PATTERN = BenchmarkMIC$$|BenchmarkComputeMatrix|BenchmarkARXAssociation|BenchmarkConcurrentDiagnose
+# The serving bench goes through a real TCP socket with wait=true diagnoses
+# (~tens of ms per op), so it runs at its own lower fixed iteration count.
+SERVER_BENCH_ITERS ?= 300x
+SERVER_BENCH_PATTERN = BenchmarkServerIngestDiagnose
 
-.PHONY: build test vet race check bench bench-compare
+.PHONY: build test vet race check bench bench-compare smoke
 
 build:
 	$(GO) build ./...
@@ -40,16 +47,23 @@ vet:
 race: vet
 	$(GO) test -race ./...
 
-check: test race bench-compare
+check: test race smoke bench-compare
+
+smoke: build
+	$(GO) run ./cmd/invarnetd -smoke -smoke-seconds 3
 
 bench: build
 	@mkdir -p benchmarks
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' \
-		-benchmem -benchtime $(BENCH_ITERS) . | $(GO) run ./cmd/benchjson > benchmarks/baseline.json
+	( $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' \
+		-benchmem -benchtime $(BENCH_ITERS) . && \
+	  $(GO) test -run '^$$' -bench '$(SERVER_BENCH_PATTERN)' \
+		-benchmem -benchtime $(SERVER_BENCH_ITERS) . ) | $(GO) run ./cmd/benchjson > benchmarks/baseline.json
 	@cat benchmarks/baseline.json
 
 bench-compare: build
 	@mkdir -p benchmarks
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' \
-		-benchmem -benchtime $(BENCH_ITERS) . | $(GO) run ./cmd/benchjson > benchmarks/current.json
+	( $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' \
+		-benchmem -benchtime $(BENCH_ITERS) . && \
+	  $(GO) test -run '^$$' -bench '$(SERVER_BENCH_PATTERN)' \
+		-benchmem -benchtime $(SERVER_BENCH_ITERS) . ) | $(GO) run ./cmd/benchjson > benchmarks/current.json
 	$(GO) run ./cmd/benchjson -compare benchmarks/baseline.json benchmarks/current.json

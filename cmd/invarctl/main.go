@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"invarnetx/internal/core"
 	"invarnetx/internal/experiments"
@@ -150,7 +151,14 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	fmt.Printf("trained %s on %d normal runs; models saved to %s\n", t, len(runs), *models)
+	// Sorted node order: ranging the map directly would shuffle the report
+	// between runs of the same training.
+	ips := make([]string, 0, len(runs[0].Traces))
 	for ip := range runs[0].Traces {
+		ips = append(ips, ip)
+	}
+	sort.Strings(ips)
+	for _, ip := range ips {
 		ctx := core.Context{Workload: string(t), IP: ip}
 		set, err := sys.Invariants(ctx)
 		if err != nil {
@@ -365,6 +373,14 @@ func cmdProfiles(args []string) error {
 		fmt.Println("no profiles in store")
 		return nil
 	}
+	// Deterministic listing: sort by (workload, node) rather than trusting
+	// whatever order the registry snapshot happens to deliver.
+	sort.Slice(pstats, func(a, b int) bool {
+		if pstats[a].Context.Workload != pstats[b].Context.Workload {
+			return pstats[a].Context.Workload < pstats[b].Context.Workload
+		}
+		return pstats[a].Context.IP < pstats[b].Context.IP
+	})
 	fmt.Printf("%d profiles:\n", len(pstats))
 	for _, st := range pstats {
 		model := "-"

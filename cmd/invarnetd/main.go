@@ -1,0 +1,265 @@
+// Command invarnetd serves InvarNet-X diagnosis online: a JSON HTTP API with
+// streaming ingestion, per-profile bounded queues with 429 backpressure, and
+// asynchronous diagnosis reports. Models are trained offline with invarctl
+// and loaded from -models; shutdown persists every profile back.
+//
+// Typical session:
+//
+//	invarctl train -workload wordcount -models ./models
+//	invarctl signatures -workload wordcount -models ./models
+//	invarnetd -addr :8080 -models ./models
+//
+// The -smoke flag replaces the serving loop with a self-test: boot on an
+// ephemeral port, train a few synthetic contexts in-process, run the load
+// generator against the live socket, assert /healthz and /v1/stats sanity,
+// and shut down cleanly. Exit status is the verdict; `make smoke` wires it
+// into the check pipeline.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"invarnetx/internal/core"
+	"invarnetx/internal/metrics"
+	"invarnetx/internal/server"
+	"invarnetx/internal/server/client"
+	"invarnetx/internal/stats"
+)
+
+func main() {
+	fs := flag.NewFlagSet("invarnetd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	models := fs.String("models", "./models", "model directory (XML files); loaded on boot, persisted on shutdown")
+	window := fs.Int("window", server.DefaultWindowCap, "sliding window length per stream (ticks)")
+	queueCap := fs.Int("queue", server.DefaultQueueCap, "per-profile task queue bound")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	reports := fs.Int("reports", server.DefaultReportCap, "retained diagnosis reports")
+	drainSecs := fs.Int("drain", 30, "shutdown drain budget (seconds)")
+	smoke := fs.Bool("smoke", false, "run the self-test against a live socket and exit")
+	smokeSecs := fs.Float64("smoke-seconds", 3, "load duration in -smoke mode")
+	fs.Parse(os.Args[1:])
+
+	cfg := server.Config{
+		Core:      core.DefaultConfig(),
+		StoreDir:  *models,
+		Workers:   *workers,
+		QueueCap:  *queueCap,
+		WindowCap: *window,
+		ReportCap: *reports,
+	}
+
+	if *smoke {
+		if err := runSmoke(cfg, *smokeSecs); err != nil {
+			log.Fatalf("smoke: FAIL: %v", err)
+		}
+		fmt.Println("smoke: OK")
+		return
+	}
+
+	if err := serve(cfg, *addr, time.Duration(*drainSecs)*time.Second); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, then drains and persists.
+func serve(cfg server.Config, addr string, drainBudget time.Duration) error {
+	srv, loadRep, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	if loadRep != nil {
+		log.Printf("restored from %s: %s", cfg.StoreDir, loadRep)
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		eff := srv.Config()
+		log.Printf("invarnetd listening on %s (workers=%d queue=%d window=%d)",
+			addr, eff.Workers, eff.QueueCap, eff.WindowCap)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %s, draining", sig)
+	case err := <-errc:
+		return err
+	}
+
+	// Shutdown ordering: stop the listener first (no new requests), then
+	// drain the accepted work and persist (server.Shutdown).
+	ctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("warning: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	log.Printf("drained and persisted to %s", cfg.StoreDir)
+	return nil
+}
+
+// runSmoke is the -smoke self-test.
+func runSmoke(cfg server.Config, seconds float64) error {
+	dir, err := os.MkdirTemp("", "invarnetd-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg.StoreDir = dir
+
+	srv, _, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Train the contexts the load generator will hit, in-process: the same
+	// coupled synthetic telemetry the generator streams, so invariants and
+	// CPI baselines exist before traffic arrives.
+	lcfg := client.LoadConfig{Streams: 8, BatchLen: 10, DiagnoseEvery: 5}
+	if err := trainLoadContexts(srv.System(), lcfg); err != nil {
+		return fmt.Errorf("training synthetic contexts: %w", err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	log.Printf("smoke: serving on %s for %.1fs", base, seconds)
+
+	c := client.New(base, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(seconds*float64(time.Second)))
+	rep := c.RunLoad(ctx, lcfg)
+	cancel()
+	log.Printf("smoke: load done: sent=%d accepted=%d shed=%d errors=%d samples=%d diagnoses=%d",
+		rep.Sent, rep.Accepted, rep.Shed, rep.Errors, rep.Samples, rep.Diagnoses)
+
+	// Sanity: the socket is live, traffic flowed, and the counters add up.
+	bg := context.Background()
+	h, err := c.Healthz(bg)
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("healthz status %q, want ok", h.Status)
+	}
+	st, err := c.Stats(bg)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	switch {
+	case rep.Errors > 0:
+		return fmt.Errorf("%d transport errors during load", rep.Errors)
+	case rep.Accepted == 0:
+		return errors.New("no batches accepted")
+	// The server may count a few more than the client confirmed: requests
+	// accepted server-side whose responses the load deadline abandoned.
+	case st.IngestBatches < rep.Accepted:
+		return fmt.Errorf("server counted %d accepted batches, client confirmed %d", st.IngestBatches, rep.Accepted)
+	case st.IngestShed+st.DiagnoseShed < rep.Shed:
+		return fmt.Errorf("server counted %d+%d shed, client %d", st.IngestShed, st.DiagnoseShed, rep.Shed)
+	case st.QueueDepth < 0 || st.QueueDepth > int64(cfg.QueueCap)*int64(lcfg.Streams):
+		return fmt.Errorf("queue depth %d outside [0, %d]", st.QueueDepth, cfg.QueueCap*lcfg.Streams)
+	}
+
+	ctx, cancel = context.WithTimeout(bg, 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("server shutdown: %w", err)
+	}
+
+	// Every pending report must have resolved during the drain.
+	st2 := statsOf(srv)
+	if st2.ReportsPending != 0 {
+		return fmt.Errorf("%d reports still pending after drain", st2.ReportsPending)
+	}
+
+	// And the persisted store must boot a second instance with every shard.
+	reboot := server.Config{Core: cfg.Core, StoreDir: dir}
+	srv2, loadRep, err := server.New(reboot)
+	if err != nil {
+		return fmt.Errorf("reboot from %s: %w", dir, err)
+	}
+	if loadRep == nil || loadRep.Partial() {
+		return fmt.Errorf("reboot load partial or missing: %v", loadRep)
+	}
+	want := len(srv.System().Profiles())
+	if got := len(srv2.System().Profiles()); got != want {
+		return fmt.Errorf("reboot restored %d profiles, want %d", got, want)
+	}
+	ctx2, cancel2 := context.WithTimeout(bg, 10*time.Second)
+	defer cancel2()
+	srv2.Shutdown(ctx2)
+	return nil
+}
+
+// statsOf reads the server's counters through an in-process round trip
+// (post-shutdown, the listener is gone but the handler still answers).
+func statsOf(srv *server.Server) server.Stats {
+	req, _ := http.NewRequest(http.MethodGet, "/v1/stats", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	var st server.Stats
+	_ = json.Unmarshal(rec.Body.Bytes(), &st)
+	return st
+}
+
+// trainLoadContexts trains a performance model and invariants for each
+// (workload, node) stream of cfg, using the generator's own synthetic
+// batches as training runs.
+func trainLoadContexts(sys *core.System, cfg client.LoadConfig) error {
+	rng := stats.NewRNG(7)
+	for i := 0; i < cfg.Streams; i++ {
+		w, node := cfg.StreamID(i)
+		ctx := core.Context{Workload: w, IP: node}
+		var runs []*metrics.Trace
+		var cpis [][]float64
+		for r := 0; r < 6; r++ {
+			batch := client.SynthBatch(rng.Fork(int64(i*100+r)), cfg, 100)
+			tr, err := server.TraceFromSamples(w, node, batch)
+			if err != nil {
+				return err
+			}
+			runs = append(runs, tr)
+			cpis = append(cpis, tr.CPI)
+		}
+		if err := sys.TrainPerformanceModel(ctx, cpis); err != nil {
+			return err
+		}
+		if err := sys.TrainInvariants(ctx, runs); err != nil {
+			return err
+		}
+		// Seed one labelled signature so diagnosis has something to match.
+		faulty := client.SynthBatch(rng.Fork(int64(i*100+99)), client.LoadConfig{Coupled: 2}, 40)
+		tr, err := server.TraceFromSamples(w, node, faulty)
+		if err != nil {
+			return err
+		}
+		if err := sys.BuildSignature(ctx, "smoke-fault", tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	mut := func(f func(*Config)) Config {
+		c := DefaultConfig()
+		f(&c)
+		return c
+	}
+	good := []struct {
+		name string
+		cfg  Config
+	}{
+		{"defaults", DefaultConfig()},
+		{"zero (defaults at New)", Config{}},
+		{"unbounded pool sentinel", mut(func(c *Config) { c.PoolCap = -1 })},
+		{"uncapped cache sentinel", mut(func(c *Config) { c.AssocCacheSize = -1 })},
+		{"pool at clamp", mut(func(c *Config) { c.PoolCap = maxPoolCap })},
+	}
+	for _, tc := range good {
+		if err := tc.cfg.Validate(); err != nil {
+			t.Errorf("%s: Validate() = %v, want nil", tc.name, err)
+		}
+	}
+
+	bad := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error
+	}{
+		{"NaN epsilon", mut(func(c *Config) { c.Epsilon = math.NaN() }), "Epsilon"},
+		{"negative epsilon", mut(func(c *Config) { c.Epsilon = -0.1 }), "Epsilon"},
+		{"epsilon above one", mut(func(c *Config) { c.Epsilon = 1.5 }), "Epsilon"},
+		{"Inf tau", mut(func(c *Config) { c.Tau = math.Inf(1) }), "Tau"},
+		{"negative beta", mut(func(c *Config) { c.Detect.Beta = -2 }), "Beta"},
+		{"NaN beta", mut(func(c *Config) { c.Detect.Beta = math.NaN() }), "Beta"},
+		{"negative consecutive", mut(func(c *Config) { c.Detect.Consecutive = -1 }), "Consecutive"},
+		{"absurd consecutive", mut(func(c *Config) { c.Detect.Consecutive = maxConsecutive + 1 }), "Consecutive"},
+		{"negative topk", mut(func(c *Config) { c.TopK = -1 }), "TopK"},
+		{"pool over clamp", mut(func(c *Config) { c.PoolCap = maxPoolCap + 1 }), "PoolCap"},
+		{"cache over clamp", mut(func(c *Config) { c.AssocCacheSize = maxAssocCacheSize + 1 }), "AssocCacheSize"},
+		{"unknown rule", mut(func(c *Config) { c.Detect.Rule = 97 }), "rule"},
+		{"unknown similarity", mut(func(c *Config) { c.Similarity = 97 }), "similarity"},
+	}
+	for _, tc := range bad {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestNewPanicsOnInvalidConfig: no System may exist around a config that
+// would corrupt every later call.
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted a NaN Epsilon without panicking")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Epsilon = math.NaN()
+	New(cfg)
+}
+
+// TestNewDefaultsZeroConfig: a zero config still defaults to the paper
+// parameters (zero means "default", not "off").
+func TestNewDefaultsZeroConfig(t *testing.T) {
+	s := New(Config{})
+	got, want := s.Config(), DefaultConfig()
+	if got.Epsilon != want.Epsilon || got.Tau != want.Tau ||
+		got.Detect.Beta != want.Detect.Beta || got.Detect.Consecutive != want.Detect.Consecutive {
+		t.Errorf("zero config defaulted to %+v, want paper defaults %+v", got, want)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"invarnetx/internal/metrics"
+	"invarnetx/internal/stats"
+)
+
+// TestSaveToRacesTrainAndDiagnose hammers concurrent SaveTo against live
+// training and diagnosis across several profiles. SaveTo snapshots each
+// profile under its own lock and writes files atomically, so nothing here
+// may race (the test exists to run under -race) and every completed SaveTo
+// must be loadable — a reader never observes a half-written store.
+func TestSaveToRacesTrainAndDiagnose(t *testing.T) {
+	const profiles = 4
+	const rounds = 6
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	s := New(cfg)
+
+	ctxs := make([]Context, profiles)
+	for i := range ctxs {
+		ctxs[i] = Context{Workload: "wordcount", IP: fmt.Sprintf("10.0.0.%d", i+2)}
+	}
+	// Pre-train half the profiles so diagnosis has models to race against;
+	// the rest are trained live during the save storm. Each goroutine gets
+	// its own RNG (stats.RNG is not goroutine-safe).
+	train := func(ctx Context, rng *stats.RNG) error {
+		var runs []*metrics.Trace
+		var cpis [][]float64
+		for r := 0; r < 6; r++ {
+			tr := synthTrace(rng.Fork(int64(r)), traceLen, 8, nil)
+			runs = append(runs, tr)
+			cpis = append(cpis, tr.CPI)
+		}
+		if err := s.TrainPerformanceModel(ctx, cpis); err != nil {
+			return err
+		}
+		if err := s.TrainInvariants(ctx, runs); err != nil {
+			return err
+		}
+		return s.BuildSignature(ctx, "race-fault", synthTrace(rng.Fork(99), 40, 8, map[int]bool{0: true, 1: true}))
+	}
+	for i := 0; i < profiles/2; i++ {
+		if err := train(ctxs[i], stats.NewRNG(int64(41+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+
+	// Savers: persist the whole registry repeatedly while it mutates.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := s.SaveTo(dir); err != nil {
+					t.Errorf("saver %d round %d: %v", w, r, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Trainers: bring the remaining profiles up mid-storm, then retrain.
+	for i := profiles / 2; i < profiles; i++ {
+		wg.Add(1)
+		rng := stats.NewRNG(int64(100 + i))
+		go func(i int, rng *stats.RNG) {
+			defer wg.Done()
+			for r := 0; r < 2; r++ {
+				if err := train(ctxs[i], rng.Fork(int64(r))); err != nil {
+					t.Errorf("trainer %d: %v", i, err)
+					return
+				}
+			}
+		}(i, rng)
+	}
+
+	// Diagnosers: hit the pre-trained profiles continuously.
+	for i := 0; i < profiles/2; i++ {
+		wg.Add(1)
+		rng := stats.NewRNG(int64(1000 + i))
+		go func(i int, rng *stats.RNG) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				abnormal := synthTrace(rng.Fork(int64(r)), 40, 8, map[int]bool{0: true, 1: true})
+				if _, err := s.Diagnose(ctxs[i], abnormal); err != nil {
+					t.Errorf("diagnoser %d: %v", i, err)
+					return
+				}
+			}
+		}(i, rng)
+	}
+
+	wg.Wait()
+
+	// A final quiescent save, then the store must load completely.
+	if err := s.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(cfg)
+	rep, err := s2.LoadFrom(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partial() {
+		t.Fatalf("store written under race is partial: %s", rep)
+	}
+	if got, want := len(s2.Profiles()), len(s.Profiles()); got != want {
+		t.Fatalf("reloaded %d profiles, want %d", got, want)
+	}
+	if got, want := s2.SignatureCount(), s.SignatureCount(); got != want {
+		t.Fatalf("reloaded %d signatures, want %d", got, want)
+	}
+}

@@ -71,9 +71,12 @@ type Config struct {
 	// selects DefaultAssocCacheSize, negative disables caching.
 	AssocCacheSize int
 	// PoolCap bounds each profile's training pools (CPI runs and invariant
-	// windows): 0 selects DefaultPoolCap, negative leaves the pools
-	// unbounded. Appended material is fingerprint-deduplicated either way,
-	// so retraining over the same traces never grows a pool.
+	// windows). The zero value is NOT "no pooling": it selects
+	// DefaultPoolCap, the bounded default every long-running deployment
+	// should want. A negative value leaves the pools unbounded — explicit
+	// opt-in for offline experiments that retrain over a fixed corpus and
+	// must never evict it. Appended material is fingerprint-deduplicated
+	// either way, so retraining over the same traces never grows a pool.
 	PoolCap int
 	// Similarity is the tuple-similarity measure for signature retrieval.
 	Similarity signature.Measure
@@ -124,19 +127,81 @@ var (
 	ErrNoInvariants = errors.New("core: no invariants for context")
 )
 
-// New builds a System; zero-valued cfg fields are defaulted.
+// maxPoolCap and maxAssocCacheSize clamp the per-profile bounds a config can
+// request. A multi-tenant deployment multiplies both by its profile count, so
+// a fat-fingered "unlimited-ish" number must not be able to turn one profile
+// into a multi-gigabyte arena; genuinely unbounded pools remain available via
+// the explicit negative opt-in.
+const (
+	maxPoolCap        = 1 << 16
+	maxAssocCacheSize = 1 << 20
+)
+
+// maxConsecutive clamps the consecutive-anomaly window: a detector that
+// needs more than 1024 consecutive anomalous samples will never alert
+// within any realistic job, which is a configuration bug, not a policy.
+const maxConsecutive = 1024
+
+// Validate reports the first nonsensical field of the configuration, before
+// defaulting: zero values (which New replaces with paper defaults) and the
+// documented negative sentinels for AssocCacheSize/PoolCap are fine, but
+// NaN/Inf or negative thresholds, out-of-range probabilities and unknown
+// enum values are rejected. Long-running services (invarnetd) should call
+// Validate on operator-supplied configuration and refuse to boot on error;
+// New itself panics on an invalid config rather than building a registry
+// that would misbehave on every later call.
+func (c Config) Validate() error {
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) || v < 0 }
+	switch {
+	case bad(c.Epsilon) || c.Epsilon > 1:
+		return fmt.Errorf("core: Epsilon %v outside (0,1] (violation threshold over MIC scores)", c.Epsilon)
+	case bad(c.Tau) || c.Tau > 1:
+		return fmt.Errorf("core: Tau %v outside (0,1] (invariant stability threshold)", c.Tau)
+	case bad(c.Detect.Beta):
+		return fmt.Errorf("core: Detect.Beta %v is not a usable threshold factor", c.Detect.Beta)
+	case c.Detect.Consecutive < 0 || c.Detect.Consecutive > maxConsecutive:
+		return fmt.Errorf("core: Detect.Consecutive %d outside [0,%d]", c.Detect.Consecutive, maxConsecutive)
+	case c.TopK < 0:
+		return fmt.Errorf("core: TopK %d is negative (0 means unranked-all)", c.TopK)
+	case c.AssocCacheSize > maxAssocCacheSize:
+		return fmt.Errorf("core: AssocCacheSize %d exceeds the %d per-profile clamp", c.AssocCacheSize, maxAssocCacheSize)
+	case c.PoolCap > maxPoolCap:
+		return fmt.Errorf("core: PoolCap %d exceeds the %d per-profile clamp", c.PoolCap, maxPoolCap)
+	}
+	switch c.Detect.Rule {
+	case detect.BetaMax, detect.MaxMin, detect.P95:
+	default:
+		return fmt.Errorf("core: unknown detection rule %v", c.Detect.Rule)
+	}
+	switch c.Similarity {
+	case signature.Jaccard, signature.Hamming, signature.Cosine:
+	default:
+		return fmt.Errorf("core: unknown similarity measure %v", c.Similarity)
+	}
+	return nil
+}
+
+// New builds a System; zero-valued cfg fields are defaulted. The config is
+// validated once here — New panics on NaN/negative thresholds or unknown
+// enum values (see Config.Validate), so no System can exist around a config
+// that would corrupt every later training and diagnosis call. Services
+// taking operator input should pre-flight with Validate and report the
+// error instead of crashing.
 func New(cfg Config) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("core.New: invalid config: %v", err))
+	}
 	def := DefaultConfig()
-	if cfg.Epsilon <= 0 {
+	if cfg.Epsilon == 0 {
 		cfg.Epsilon = def.Epsilon
 	}
-	if cfg.Tau <= 0 {
+	if cfg.Tau == 0 {
 		cfg.Tau = def.Tau
 	}
-	if cfg.Detect.Beta <= 0 {
+	if cfg.Detect.Beta == 0 {
 		cfg.Detect.Beta = def.Detect.Beta
 	}
-	if cfg.Detect.Consecutive <= 0 {
+	if cfg.Detect.Consecutive == 0 {
 		cfg.Detect.Consecutive = def.Detect.Consecutive
 	}
 	if cfg.Assoc == nil {

@@ -1,0 +1,251 @@
+// Package server is the online serving layer of InvarNet-X: a stdlib
+// net/http JSON API that turns the per-context core.Profile registry into a
+// long-running multi-tenant diagnosis service.
+//
+// The paper's whole point is *online* diagnosis — watch the CPI of running
+// jobs, fire cause inference the moment ARIMA drift appears — and this
+// package is the subsystem that puts live traffic on the library:
+//
+//   - POST /v1/ingest      batched per-(workload, node) metric samples feed
+//     per-context sliding windows and asynchronous drift detection;
+//   - POST /v1/diagnose    asynchronous cause inference (returns a report ID);
+//   - GET  /v1/reports/{id} the finished ViolationReport/Diagnosis;
+//   - GET  /v1/profiles    the profile registry, operator view;
+//   - GET/POST /v1/signatures  read the signature base, or label a new
+//     investigated fault into it over the wire;
+//   - GET  /healthz, GET /v1/stats  liveness and the server's own counters.
+//
+// Overload is shed, never buffered without bound: every profile owns a
+// bounded task queue drained by a fixed worker pool, and a full queue turns
+// into 429 Retry-After at admission. Degraded telemetry rides the masked
+// pipeline end to end — a sample's validity mask flows through
+// metrics.Trace into tri-state invariant checking, exactly as the telemetry
+// collector's gap semantics define.
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"invarnetx/internal/core"
+	"invarnetx/internal/metrics"
+)
+
+// Sample is one tick of one node's telemetry on the wire. JSON cannot carry
+// NaN, so telemetry gaps are expressed exactly as the telemetry package's
+// gap policies produce them: a Valid mask flagging which entries are
+// genuine observations, with whatever placeholder (held value, interpolated
+// value, zero) in the data. Entries marked invalid are stored as NaN
+// server-side under the Mask policy semantics when the placeholder is zero
+// — either way the masked pipeline treats the touched invariants as
+// unknown, not violated.
+type Sample struct {
+	// Metrics is the full per-tick vector; len must equal metrics.Count.
+	Metrics []float64 `json:"metrics"`
+	// CPI is the tick's cycles-per-instruction reading.
+	CPI float64 `json:"cpi"`
+	// Valid, when present, flags which metric entries are genuine; len must
+	// equal metrics.Count. Absent means every entry is genuine.
+	Valid []bool `json:"valid,omitempty"`
+	// CPIValid flags the CPI reading; nil means genuine.
+	CPIValid *bool `json:"cpiValid,omitempty"`
+}
+
+// IngestRequest is one POST /v1/ingest body: a batch of consecutive samples
+// for one stream (one operation context).
+type IngestRequest struct {
+	Workload string   `json:"workload"`
+	Node     string   `json:"node"`
+	Samples  []Sample `json:"samples"`
+}
+
+// IngestResponse acknowledges an accepted batch. Acceptance means the
+// samples are queued for application to the stream's sliding window and
+// drift detection; graceful shutdown drains that queue, so accepted never
+// means droppable.
+type IngestResponse struct {
+	Accepted   int   `json:"accepted"`
+	QueueDepth int64 `json:"queueDepth"`
+}
+
+// DiagnoseRequest is one POST /v1/diagnose body. With Samples the supplied
+// window is diagnosed; without, the stream's current sliding window is.
+// Wait=true blocks the request until the report completes (the work still
+// rides the profile queue; this only moves the polling server-side).
+type DiagnoseRequest struct {
+	Workload string   `json:"workload"`
+	Node     string   `json:"node"`
+	Samples  []Sample `json:"samples,omitempty"`
+	Wait     bool     `json:"wait,omitempty"`
+}
+
+// DiagnoseResponse returns the report handle (and, under Wait, the report).
+type DiagnoseResponse struct {
+	ID     string  `json:"id"`
+	Status string  `json:"status"`
+	Report *Report `json:"report,omitempty"`
+}
+
+// Cause is one ranked root cause.
+type Cause struct {
+	Problem string  `json:"problem"`
+	Score   float64 `json:"score"`
+}
+
+// Diagnosis is the wire form of core.Diagnosis.
+type Diagnosis struct {
+	Workload   string   `json:"workload"`
+	Node       string   `json:"node"`
+	Tuple      string   `json:"tuple"` // 0/1 string over the sorted invariant pairs
+	Invariants int      `json:"invariants"`
+	Violations int      `json:"violations"`
+	Coverage   float64  `json:"coverage"`
+	Confidence float64  `json:"confidence"`
+	RootCause  string   `json:"rootCause,omitempty"`
+	Causes     []Cause  `json:"causes,omitempty"`
+	Hints      []string `json:"hints,omitempty"`
+	Unknown    []string `json:"unknown,omitempty"`
+}
+
+// SignatureRequest labels an investigated problem into the signature base:
+// the violation tuple of the supplied abnormal window is stored under the
+// stream's operation context ("once the performance problem is resolved, a
+// new signature will be added into the signature base" — here, over the
+// wire). Without Samples the stream's current window is used.
+type SignatureRequest struct {
+	Workload string   `json:"workload"`
+	Node     string   `json:"node"`
+	Problem  string   `json:"problem"`
+	Samples  []Sample `json:"samples,omitempty"`
+}
+
+// SignatureEntry is one stored signature on the wire.
+type SignatureEntry struct {
+	Problem  string `json:"problem"`
+	Workload string `json:"workload"`
+	Node     string `json:"node"`
+	Tuple    string `json:"tuple"`
+}
+
+// SignaturesResponse is the GET /v1/signatures payload.
+type SignaturesResponse struct {
+	Count      int              `json:"count"`
+	Signatures []SignatureEntry `json:"signatures"`
+}
+
+// ProfileInfo is one profile in GET /v1/profiles: the core registry snapshot
+// joined with the serving-side stream state.
+type ProfileInfo struct {
+	Workload    string `json:"workload"`
+	Node        string `json:"node"`
+	HasModel    bool   `json:"hasModel"`
+	Invariants  int    `json:"invariants"`
+	Signatures  int    `json:"signatures"`
+	CPIRuns     int    `json:"cpiRuns"`
+	Windows     int    `json:"windows"`
+	CacheHits   int64  `json:"cacheHits"`
+	CacheMisses int64  `json:"cacheMisses"`
+
+	// Serving-side stream state; zero-valued when nothing was ingested for
+	// the context yet.
+	WindowLen int   `json:"windowLen"`
+	Ingested  int64 `json:"ingested"`
+	Alerts    int64 `json:"alerts"`
+	Alerting  bool  `json:"alerting"`
+}
+
+// ProfilesResponse is the GET /v1/profiles payload, sorted by
+// (workload, node).
+type ProfilesResponse struct {
+	Count    int           `json:"count"`
+	Profiles []ProfileInfo `json:"profiles"`
+}
+
+// Health is the GET /healthz payload.
+type Health struct {
+	Status    string  `json:"status"` // "ok" or "draining"
+	UptimeSec float64 `json:"uptimeSec"`
+}
+
+// validateSamples checks wire samples for shape errors once, before any
+// state is touched.
+func validateSamples(samples []Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("server: empty sample batch")
+	}
+	for i, s := range samples {
+		if len(s.Metrics) != metrics.Count {
+			return fmt.Errorf("server: sample %d has %d metrics, want %d", i, len(s.Metrics), metrics.Count)
+		}
+		if s.Valid != nil && len(s.Valid) != metrics.Count {
+			return fmt.Errorf("server: sample %d mask has %d entries, want %d", i, len(s.Valid), metrics.Count)
+		}
+	}
+	return nil
+}
+
+// TraceFromSamples materialises wire samples into a metrics.Trace, applying
+// the telemetry gap semantics: masked-invalid entries whose placeholder is
+// zero are stored as NaN (the honest Mask policy), non-zero placeholders
+// are kept as-is but stay flagged invalid (the hold/interpolate policies) —
+// in both cases the validity mask is what the masked pipeline trusts.
+func TraceFromSamples(workloadType, node string, samples []Sample) (*metrics.Trace, error) {
+	if err := validateSamples(samples); err != nil {
+		return nil, err
+	}
+	tr := metrics.NewTrace(node, workloadType)
+	for _, s := range samples {
+		if err := addSample(tr, s); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// addSample appends one wire sample to tr under the gap semantics above.
+func addSample(tr *metrics.Trace, s Sample) error {
+	if s.Valid == nil && s.CPIValid == nil {
+		return tr.Add(s.Metrics, s.CPI)
+	}
+	valid := s.Valid
+	if valid == nil {
+		valid = make([]bool, metrics.Count)
+		for i := range valid {
+			valid[i] = true
+		}
+	}
+	values := append([]float64(nil), s.Metrics...)
+	for m, ok := range valid {
+		if !ok && values[m] == 0 {
+			values[m] = math.NaN()
+		}
+	}
+	cpiOK := s.CPIValid == nil || *s.CPIValid
+	cpi := s.CPI
+	if !cpiOK && cpi == 0 {
+		cpi = math.NaN()
+	}
+	return tr.AddMasked(values, valid, cpi, cpiOK)
+}
+
+// diagnosisWire converts a core.Diagnosis for the wire. Scores are finite
+// by construction (similarities in [0,1] scaled by coverage), so the JSON
+// encoder never sees a NaN.
+func diagnosisWire(ctx core.Context, d *core.Diagnosis, invariants int) *Diagnosis {
+	out := &Diagnosis{
+		Workload:   ctx.Workload,
+		Node:       ctx.IP,
+		Tuple:      d.Tuple.String(),
+		Invariants: invariants,
+		Violations: d.Tuple.Ones(),
+		Coverage:   d.Coverage,
+		Confidence: d.Confidence,
+		RootCause:  d.RootCause(),
+		Hints:      d.Hints,
+		Unknown:    d.Unknown,
+	}
+	for _, c := range d.Causes {
+		out.Causes = append(out.Causes, Cause{Problem: c.Problem, Score: c.Score})
+	}
+	return out
+}

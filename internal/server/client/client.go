@@ -1,0 +1,199 @@
+// Package client is the typed Go client for the invarnetd HTTP API, plus a
+// small load generator used by the smoke target and the serving benchmark.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"invarnetx/internal/server"
+)
+
+// Client speaks the invarnetd JSON API.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at base (e.g. "http://127.0.0.1:8080").
+// hc may be nil, selecting a client with a 30 s timeout.
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// APIError is a non-2xx response decoded from the server's error envelope.
+type APIError struct {
+	StatusCode int
+	Message    string
+	// RetryAfter is the parsed Retry-After hint on 429s (0 otherwise).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("invarnetd: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// IsShed reports whether err is the server's admission-control refusal
+// (429 Too Many Requests) — the signal to back off and retry.
+func IsShed(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.StatusCode == http.StatusTooManyRequests
+}
+
+// do runs one round trip: encode in, decode into out (when non-nil), map
+// non-2xx to *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		ae := &APIError{StatusCode: resp.StatusCode}
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
+			ae.Message = envelope.Error
+		} else {
+			ae.Message = string(raw)
+		}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return ae
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Ingest submits one batch of samples for the (workload, node) stream.
+func (c *Client) Ingest(ctx context.Context, workload, node string, samples []server.Sample) (*server.IngestResponse, error) {
+	var out server.IngestResponse
+	err := c.do(ctx, http.MethodPost, "/v1/ingest", server.IngestRequest{
+		Workload: workload, Node: node, Samples: samples,
+	}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Diagnose requests a diagnosis. With samples nil the stream's current
+// window is diagnosed; wait=true blocks until the report completes.
+func (c *Client) Diagnose(ctx context.Context, workload, node string, samples []server.Sample, wait bool) (*server.DiagnoseResponse, error) {
+	var out server.DiagnoseResponse
+	err := c.do(ctx, http.MethodPost, "/v1/diagnose", server.DiagnoseRequest{
+		Workload: workload, Node: node, Samples: samples, Wait: wait,
+	}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Report fetches one report by ID.
+func (c *Client) Report(ctx context.Context, id string) (*server.Report, error) {
+	var out server.Report
+	if err := c.do(ctx, http.MethodGet, "/v1/reports/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitReport polls a report until it leaves pending or ctx expires.
+func (c *Client) WaitReport(ctx context.Context, id string) (*server.Report, error) {
+	backoff := 5 * time.Millisecond
+	for {
+		rep, err := c.Report(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Status != server.StatusPending {
+			return rep, nil
+		}
+		select {
+		case <-ctx.Done():
+			return rep, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// Profiles lists the profile registry merged with stream state.
+func (c *Client) Profiles(ctx context.Context) (*server.ProfilesResponse, error) {
+	var out server.ProfilesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/profiles", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Signatures lists the signature base.
+func (c *Client) Signatures(ctx context.Context) (*server.SignaturesResponse, error) {
+	var out server.SignaturesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/signatures", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AddSignature labels a problem signature from the supplied (or current)
+// abnormal window.
+func (c *Client) AddSignature(ctx context.Context, workload, node, problem string, samples []server.Sample) error {
+	return c.do(ctx, http.MethodPost, "/v1/signatures", server.SignatureRequest{
+		Workload: workload, Node: node, Problem: problem, Samples: samples,
+	}, nil)
+}
+
+// Stats fetches the server's operational counters.
+func (c *Client) Stats(ctx context.Context) (*server.Stats, error) {
+	var out server.Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz fetches liveness.
+func (c *Client) Healthz(ctx context.Context) (*server.Health, error) {
+	var out server.Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

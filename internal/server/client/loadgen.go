@@ -1,0 +1,190 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"invarnetx/internal/metrics"
+	"invarnetx/internal/server"
+	"invarnetx/internal/stats"
+)
+
+// LoadConfig shapes a load-generator run against one invarnetd instance.
+type LoadConfig struct {
+	// Streams is the number of concurrent (workload, node) ingest streams
+	// (default 8, the acceptance floor).
+	Streams int
+	// BatchLen is the samples per ingest batch (default 10).
+	BatchLen int
+	// Batches per stream; 0 means run until ctx is cancelled.
+	Batches int
+	// Interval between batches per stream (default 0: as fast as possible —
+	// the backpressure probe).
+	Interval time.Duration
+	// DiagnoseEvery issues one async diagnose per stream every N batches
+	// (0 disables).
+	DiagnoseEvery int
+	// Workload and node naming: streams map onto Workloads[i%len] at node
+	// 10.0.<i/len>.<i%250+2>. Default Workloads: {"wordcount", "sort"}.
+	Workloads []string
+	// Seed makes the synthetic telemetry reproducible (default 1).
+	Seed int64
+	// Coupled is how many leading metrics ride one latent factor (default 8,
+	// matching the training-side generators).
+	Coupled int
+	// GapRate injects masked telemetry gaps at this per-entry probability
+	// (0 disables) — exercises the degraded/masked pipeline end to end.
+	GapRate float64
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Streams <= 0 {
+		c.Streams = 8
+	}
+	if c.BatchLen <= 0 {
+		c.BatchLen = 10
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"wordcount", "sort"}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Coupled <= 0 {
+		c.Coupled = 8
+	}
+	return c
+}
+
+// StreamID returns the (workload, node) identity of load stream i under cfg —
+// the same mapping the generator uses, so tests and trainers can pre-train
+// exactly the contexts the load will hit.
+func (c LoadConfig) StreamID(i int) (workload, node string) {
+	c = c.withDefaults()
+	workload = c.Workloads[i%len(c.Workloads)]
+	node = fmt.Sprintf("10.0.%d.%d", i/len(c.Workloads), i%250+2)
+	return workload, node
+}
+
+// LoadReport aggregates one load-generator run.
+type LoadReport struct {
+	Sent      int64 // batches attempted
+	Accepted  int64 // batches accepted (202)
+	Shed      int64 // batches refused with 429 (backpressure working)
+	Errors    int64 // transport errors or unexpected statuses
+	Samples   int64 // samples accepted
+	Diagnoses int64 // async diagnoses issued
+	ReportIDs []string
+}
+
+// SynthBatch generates one batch of coupled synthetic samples: the leading
+// Coupled metrics ride a shared latent factor (so MIC training finds
+// invariants), the rest are noise, and CPI tracks the factor. With GapRate
+// set, entries are masked invalid at that rate.
+func SynthBatch(rng *stats.RNG, cfg LoadConfig, n int) []server.Sample {
+	cfg = cfg.withDefaults()
+	out := make([]server.Sample, n)
+	for t := 0; t < n; t++ {
+		latent := rng.Float64()
+		row := make([]float64, metrics.Count)
+		for m := 0; m < metrics.Count; m++ {
+			if m < cfg.Coupled {
+				row[m] = float64(m+1)*latent + 0.1 + rng.Normal(0, 0.02)
+			} else {
+				row[m] = rng.Float64()
+			}
+		}
+		s := server.Sample{Metrics: row, CPI: 1.0 + 0.3*latent + rng.Normal(0, 0.02)}
+		if cfg.GapRate > 0 {
+			valid := make([]bool, metrics.Count)
+			masked := false
+			for m := range valid {
+				valid[m] = !rng.Bernoulli(cfg.GapRate)
+				if !valid[m] {
+					row[m] = 0 // zero placeholder → NaN server-side (Mask policy)
+					masked = true
+				}
+			}
+			if masked {
+				s.Valid = valid
+			}
+		}
+		out[t] = s
+	}
+	return out
+}
+
+// RunLoad drives cfg.Streams concurrent ingest streams against the server at
+// c until every stream has sent its batches or ctx is cancelled. Shed batches
+// (429) are counted, not retried — the report's Shed column is the
+// backpressure observability, and at full speed a nonzero value is expected.
+func (c *Client) RunLoad(ctx context.Context, cfg LoadConfig) *LoadReport {
+	cfg = cfg.withDefaults()
+	rep := &LoadReport{}
+	var mu sync.Mutex // ReportIDs
+	var sent, accepted, shed, errs, samples, diagnoses atomic.Int64
+
+	var wg sync.WaitGroup
+	root := stats.NewRNG(cfg.Seed)
+	for i := 0; i < cfg.Streams; i++ {
+		workload, node := cfg.StreamID(i)
+		rng := root.Fork(int64(i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; cfg.Batches == 0 || b < cfg.Batches; b++ {
+				if ctx.Err() != nil {
+					return
+				}
+				batch := SynthBatch(rng, cfg, cfg.BatchLen)
+				sent.Add(1)
+				resp, err := c.Ingest(ctx, workload, node, batch)
+				switch {
+				case err == nil:
+					accepted.Add(1)
+					samples.Add(int64(resp.Accepted))
+				case IsShed(err):
+					shed.Add(1)
+				case ctx.Err() != nil:
+					return
+				default:
+					errs.Add(1)
+				}
+				if cfg.DiagnoseEvery > 0 && (b+1)%cfg.DiagnoseEvery == 0 {
+					d, err := c.Diagnose(ctx, workload, node, nil, false)
+					switch {
+					case err == nil:
+						diagnoses.Add(1)
+						mu.Lock()
+						rep.ReportIDs = append(rep.ReportIDs, d.ID)
+						mu.Unlock()
+					case IsShed(err):
+						shed.Add(1)
+					case ctx.Err() != nil:
+						return
+					default:
+						errs.Add(1)
+					}
+				}
+				if cfg.Interval > 0 {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(cfg.Interval):
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rep.Sent = sent.Load()
+	rep.Accepted = accepted.Load()
+	rep.Shed = shed.Load()
+	rep.Errors = errs.Load()
+	rep.Samples = samples.Load()
+	rep.Diagnoses = diagnoses.Load()
+	return rep
+}

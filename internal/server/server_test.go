@@ -1,0 +1,276 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"invarnetx/internal/core"
+	"invarnetx/internal/metrics"
+)
+
+func testSamples(n int) []Sample {
+	out := make([]Sample, n)
+	for t := range out {
+		row := make([]float64, metrics.Count)
+		for m := range row {
+			row[m] = float64(m + t)
+		}
+		out[t] = Sample{Metrics: row, CPI: 1.0}
+	}
+	return out
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(buf))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestIngestShedsWith429 fills one profile's queue while the worker pool is
+// wedged and asserts the next batch is refused with 429 + Retry-After, then
+// that releasing the pool drains everything.
+func TestIngestShedsWith429(t *testing.T) {
+	srv, _, err := New(Config{Core: core.DefaultConfig(), Workers: 1, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := core.Context{Workload: "wordcount", IP: "10.0.0.2"}
+	st := srv.stream(ctx)
+
+	// Wedge the only worker inside a task on this stream's queue.
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	if err := srv.sched.enqueue(st.queue, func() { close(entered); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the worker is now blocked mid-drain; the queue is empty again
+
+	body := IngestRequest{Workload: "wordcount", Node: "10.0.0.2", Samples: testSamples(1)}
+	for i := 0; i < 2; i++ { // fill to cap
+		rec := postJSON(t, srv.Handler(), "/v1/ingest", body)
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("fill %d: status %d, body %s", i, rec.Code, rec.Body)
+		}
+	}
+	rec := postJSON(t, srv.Handler(), "/v1/ingest", body)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-cap ingest: status %d, want 429 (body %s)", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if got := srv.ctr.ingestShed.Load(); got != 1 {
+		t.Errorf("ingestShed = %d, want 1", got)
+	}
+
+	close(gate)
+	deadline := time.Now().Add(5 * time.Second)
+	for st.windowLen() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("accepted batches never applied: window %d, want 2", st.windowLen())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDiagnoseShedWithdrawsReport: a diagnose refused at admission must not
+// leave a pending report behind.
+func TestDiagnoseShedWithdrawsReport(t *testing.T) {
+	srv, _, err := New(Config{Core: core.DefaultConfig(), Workers: 1, QueueCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := core.Context{Workload: "sort", IP: "10.0.0.3"}
+	st := srv.stream(ctx)
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	if err := srv.sched.enqueue(st.queue, func() { close(entered); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	body := DiagnoseRequest{Workload: "sort", Node: "10.0.0.3", Samples: testSamples(4)}
+	if rec := postJSON(t, srv.Handler(), "/v1/diagnose", body); rec.Code != http.StatusAccepted {
+		t.Fatalf("first diagnose: status %d", rec.Code)
+	}
+	rec := postJSON(t, srv.Handler(), "/v1/diagnose", body)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-cap diagnose: status %d, want 429", rec.Code)
+	}
+	if got := srv.store.len(); got != 1 {
+		t.Errorf("report store holds %d reports after shed, want 1", got)
+	}
+	if got := srv.ctr.reportsPending.Load(); got != 1 {
+		t.Errorf("reportsPending = %d, want 1", got)
+	}
+	close(gate)
+}
+
+// TestBadRequests exercises the admission validation surface.
+func TestBadRequests(t *testing.T) {
+	srv, _, err := New(Config{Core: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Handler()
+	cases := []struct {
+		name string
+		path string
+		body any
+		want int
+	}{
+		{"missing context", "/v1/ingest", IngestRequest{Samples: testSamples(1)}, 400},
+		{"empty batch", "/v1/ingest", IngestRequest{Workload: "w", Node: "n"}, 400},
+		{"short vector", "/v1/ingest", IngestRequest{Workload: "w", Node: "n",
+			Samples: []Sample{{Metrics: []float64{1, 2}}}}, 400},
+		{"bad mask length", "/v1/ingest", IngestRequest{Workload: "w", Node: "n",
+			Samples: func() []Sample { s := testSamples(1); s[0].Valid = []bool{true}; return s }()}, 400},
+		{"untrained diagnose", "/v1/diagnose", DiagnoseRequest{Workload: "w", Node: "n",
+			Samples: testSamples(4), Wait: true}, 200}, // accepted; report fails, not the request
+		{"signature missing problem", "/v1/signatures", SignatureRequest{Workload: "w", Node: "n"}, 400},
+		{"signature untrained", "/v1/signatures", SignatureRequest{Workload: "w", Node: "n",
+			Problem: "p", Samples: testSamples(4)}, 409},
+	}
+	for _, tc := range cases {
+		rec := postJSON(t, h, tc.path, tc.body)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status %d, want %d (body %s)", tc.name, rec.Code, tc.want, rec.Body)
+		}
+	}
+
+	// The untrained diagnose above produced a failed report, not a lost one.
+	var dr DiagnoseResponse
+	rec := postJSON(t, h, "/v1/diagnose", DiagnoseRequest{Workload: "w", Node: "n",
+		Samples: testSamples(4), Wait: true})
+	if err := json.Unmarshal(rec.Body.Bytes(), &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Status != StatusFailed || dr.Report == nil || dr.Report.Error == "" {
+		t.Errorf("untrained diagnose report = %+v, want failed with error", dr)
+	}
+}
+
+func TestConfigClamps(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Workers < 1 || cfg.QueueCap != DefaultQueueCap ||
+		cfg.WindowCap != DefaultWindowCap || cfg.ReportCap != DefaultReportCap {
+		t.Errorf("zero config defaults wrong: %+v", cfg)
+	}
+	if got := (Config{WindowCap: 1}).withDefaults().WindowCap; got != minWindowCap {
+		t.Errorf("WindowCap 1 clamps to %d, want %d", got, minWindowCap)
+	}
+	if got := (Config{WindowCap: 1 << 20}).withDefaults().WindowCap; got != maxWindowCap {
+		t.Errorf("huge WindowCap clamps to %d, want %d", got, maxWindowCap)
+	}
+	if _, _, err := New(Config{Core: core.Config{Epsilon: 2}}); err == nil {
+		t.Error("New accepted an invalid core config")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	if h.quantile(0.5) != 0 || h.meanMS() != 0 {
+		t.Error("empty histogram not zero")
+	}
+	for i := 0; i < 90; i++ {
+		h.observe(800 * time.Microsecond) // bucket ≤ 1 ms
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(80 * time.Millisecond) // bucket ≤ 100 ms
+	}
+	if got := h.quantile(0.50); got != 1 {
+		t.Errorf("p50 = %v, want 1 (bucket upper bound)", got)
+	}
+	if got := h.quantile(0.95); got != 100 {
+		t.Errorf("p95 = %v, want 100", got)
+	}
+	if got := h.quantile(0.99); got != 100 {
+		t.Errorf("p99 = %v, want 100", got)
+	}
+	if mean := h.meanMS(); mean < 8 || mean > 10 {
+		t.Errorf("mean = %v, want ~8.7", mean)
+	}
+	h.observe(time.Minute) // overflow bucket
+	if got := h.quantile(1.0); got != latencyBucketsMS[numLatencyBuckets-1] {
+		t.Errorf("overflow quantile = %v, want last bound", got)
+	}
+}
+
+func TestReportStoreEviction(t *testing.T) {
+	s := newReportStore(2)
+	a := s.create("w", "n")
+	b := s.create("w", "n")
+	c := s.create("w", "n") // over cap, but nothing completed: all retained
+	if s.len() != 3 {
+		t.Fatalf("len = %d, want 3 (pending never evicted)", s.len())
+	}
+	a.complete(nil, "x", 1)
+	b.complete(nil, "x", 1)
+	d := s.create("w", "n") // triggers eviction of the completed overage
+	if s.len() != 2 {
+		t.Fatalf("len = %d after eviction, want 2", s.len())
+	}
+	for _, r := range []*report{a, b} {
+		if _, ok := s.get(r.r.ID); ok {
+			t.Errorf("completed report %s survived eviction", r.r.ID)
+		}
+	}
+	for _, r := range []*report{c, d} {
+		if _, ok := s.get(r.r.ID); !ok {
+			t.Errorf("pending report %s evicted, want retained", r.r.ID)
+		}
+	}
+	// IDs are dense and monotone.
+	for i, r := range []*report{a, b, c, d} {
+		if want := fmt.Sprintf("r-%08d", i+1); r.r.ID != want {
+			t.Errorf("ID %d = %s, want %s", i, r.r.ID, want)
+		}
+	}
+}
+
+// TestMaskedSamplesRideMaskedPipeline: a batch with validity masks must
+// produce a masked trace with NaN in the gap positions.
+func TestMaskedSamplesRideMaskedPipeline(t *testing.T) {
+	s := testSamples(3)
+	valid := make([]bool, metrics.Count)
+	for i := range valid {
+		valid[i] = true
+	}
+	valid[0] = false
+	s[1].Valid = valid
+	s[1].Metrics[0] = 0 // zero placeholder → NaN server-side
+	f := false
+	s[2].CPIValid = &f
+	s[2].CPI = 0
+
+	tr, err := TraceFromSamples("wordcount", "10.0.0.5", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Masked() {
+		t.Fatal("trace not masked")
+	}
+	if v := tr.Rows[0][1]; v == v { // NaN check
+		t.Errorf("gap entry = %v, want NaN", v)
+	}
+	if tr.MetricValid(0)[1] {
+		t.Error("gap entry still flagged valid")
+	}
+	if v := tr.CPI[2]; v == v {
+		t.Errorf("gap CPI = %v, want NaN", v)
+	}
+	if tr.CPIValid[2] {
+		t.Error("gap CPI still flagged valid")
+	}
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"invarnetx/internal/core"
+	"invarnetx/internal/detect"
+	"invarnetx/internal/metrics"
+)
+
+// stream is the serving-side state of one operation context: the sliding
+// window of recently ingested samples, the live drift monitor, and the
+// bounded task queue every asynchronous operation for the context rides.
+//
+// Window and monitor mutate only inside tasks on the stream's queue, which
+// the scheduler serialises — one task of a queue runs at a time, in order —
+// so ingestion batches apply atomically and in arrival order. The mutex
+// exists for the cross-thread readers (profiles listing, window snapshots).
+type stream struct {
+	ctx   core.Context
+	queue *queue
+
+	mu      sync.Mutex
+	samples []Sample // sliding window, newest last, len <= Config.WindowCap
+
+	monitor  *detect.Monitor
+	ingested atomic.Int64
+	alerts   atomic.Int64
+	alerting atomic.Bool
+}
+
+// apply is the ingest task body: slide the batch into the window, then feed
+// the CPI readings to the drift monitor. Runs serialised on the stream's
+// queue.
+func (st *stream) apply(srv *Server, batch []Sample) {
+	st.mu.Lock()
+	st.samples = append(st.samples, batch...)
+	if over := len(st.samples) - srv.cfg.WindowCap; over > 0 {
+		// Copy down rather than re-slice so evicted ticks do not pin the
+		// backing array's head forever.
+		n := copy(st.samples, st.samples[over:])
+		for i := n; i < len(st.samples); i++ {
+			st.samples[i] = Sample{}
+		}
+		st.samples = st.samples[:n]
+	}
+	window := st.samples
+	st.mu.Unlock()
+	st.ingested.Add(int64(len(batch)))
+	srv.ctr.detectTasks.Add(1)
+
+	// Drift detection wants a trained model; a stream may start flowing
+	// before its context is trained, so the lookup is retried per batch
+	// until it succeeds (lookups are two atomic-ish map reads — cheap).
+	if st.monitor == nil {
+		d, err := srv.sys.Detector(st.ctx)
+		if err != nil {
+			return // no model yet: window still slides, detection waits
+		}
+		// Seed with everything already windowed before this batch (a batch
+		// larger than the window may have evicted its own head); the batch
+		// itself is offered sample by sample below.
+		head := len(window) - len(batch)
+		if head < 0 {
+			head = 0
+		}
+		warmup := make([]float64, 0, head)
+		for _, s := range window[:head] {
+			warmup = append(warmup, cpiOf(s))
+		}
+		st.monitor = d.NewMonitor(warmup)
+	}
+	for _, s := range batch {
+		st.monitor.Offer(cpiOf(s))
+		if st.monitor.Alert() {
+			st.alerts.Add(1)
+			srv.ctr.alerts.Add(1)
+			st.alerting.Store(true)
+			st.monitor.Reset() // keep watching; the flag stays up for operators
+		}
+	}
+}
+
+// cpiOf maps a wire sample to the CPI value the monitor should see: a
+// masked-invalid reading is a telemetry gap (NaN), which the monitor
+// excludes from its forecast history rather than treating as data.
+func cpiOf(s Sample) float64 {
+	if s.CPIValid != nil && !*s.CPIValid {
+		return math.NaN()
+	}
+	return s.CPI
+}
+
+// windowTrace snapshots the current sliding window as a metrics.Trace.
+func (st *stream) windowTrace() (*metrics.Trace, error) {
+	st.mu.Lock()
+	samples := append([]Sample(nil), st.samples...)
+	st.mu.Unlock()
+	return TraceFromSamples(st.ctx.Workload, st.ctx.IP, samples)
+}
+
+// windowLen returns the current window length.
+func (st *stream) windowLen() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.samples)
+}

@@ -1,0 +1,105 @@
+// Serving-layer benchmark: the invarnetd HTTP stack end to end — JSON
+// decode, admission, queue scheduling, window maintenance, drift detection
+// and synchronous diagnosis — measured through a real TCP socket via the
+// typed client, the same path production traffic takes.
+package invarnetx
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"invarnetx/internal/core"
+	"invarnetx/internal/server"
+	"invarnetx/internal/server/client"
+	"invarnetx/internal/stats"
+)
+
+// BenchmarkServerIngestDiagnose drives GOMAXPROCS concurrent clients, each
+// ingesting a batch and then running one wait=true diagnosis over its
+// stream's window. One iteration is one ingest+diagnose round trip; shed
+// rounds (429) are retried, so every iteration measures completed work.
+func BenchmarkServerIngestDiagnose(b *testing.B) {
+	cfg := server.Config{Core: core.DefaultConfig(), QueueCap: 256, WindowCap: 64}
+	srv, _, err := server.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lcfg := client.LoadConfig{Streams: 8, BatchLen: 5}
+	sys := srv.System()
+	rng := stats.NewRNG(7)
+	for i := 0; i < lcfg.Streams; i++ {
+		w, node := lcfg.StreamID(i)
+		ctx := core.Context{Workload: w, IP: node}
+		var runs []*MetricsTrace
+		var cpis [][]float64
+		for r := 0; r < 6; r++ {
+			batch := client.SynthBatch(rng.Fork(int64(i*100+r)), lcfg, 100)
+			tr, err := server.TraceFromSamples(w, node, batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runs = append(runs, tr)
+			cpis = append(cpis, tr.CPI)
+		}
+		if err := sys.TrainPerformanceModel(ctx, cpis); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.TrainInvariants(ctx, runs); err != nil {
+			b.Fatal(err)
+		}
+		faulty := client.SynthBatch(rng.Fork(int64(i*100+99)), client.LoadConfig{Coupled: 2}, 40)
+		tr, err := server.TraceFromSamples(w, node, faulty)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.BuildSignature(ctx, "bench-fault", tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	var worker atomic.Int64
+	var shed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := worker.Add(1) - 1
+		w, node := lcfg.StreamID(int(id) % lcfg.Streams)
+		c := client.New(hs.URL, hs.Client())
+		rng := stats.NewRNG(1000 + id)
+		ctx := context.Background()
+		for pb.Next() {
+			batch := client.SynthBatch(rng, lcfg, lcfg.BatchLen)
+			for {
+				_, err := c.Ingest(ctx, w, node, batch)
+				if err == nil {
+					break
+				}
+				if client.IsShed(err) {
+					shed.Add(1)
+					continue
+				}
+				b.Fatal(err)
+			}
+			for {
+				resp, err := c.Diagnose(ctx, w, node, nil, true)
+				if err == nil {
+					if resp.Status != server.StatusDone {
+						b.Fatalf("diagnosis %s: %+v", resp.Status, resp.Report)
+					}
+					break
+				}
+				if client.IsShed(err) {
+					shed.Add(1)
+					continue
+				}
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(shed.Load())/float64(b.N), "sheds/op")
+}
