@@ -27,7 +27,7 @@ GO ?= go
 # 2000 fixed iterations keeps scheduler noise on the parallel benches well
 # inside the 20% comparison threshold; 200x was too jittery to gate on.
 BENCH_ITERS ?= 2000x
-BENCH_PATTERN = BenchmarkMIC$$|BenchmarkComputeMatrix|BenchmarkARXAssociation|BenchmarkConcurrentDiagnose
+BENCH_PATTERN = BenchmarkMIC$$|BenchmarkComputeMatrix|BenchmarkARXAssociation|BenchmarkConcurrentDiagnose|BenchmarkDiagnoseSparse|BenchmarkSignatureMatch
 # The serving bench goes through a real TCP socket with wait=true diagnoses
 # (~tens of ms per op), so it runs at its own lower fixed iteration count.
 SERVER_BENCH_ITERS ?= 300x

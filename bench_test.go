@@ -17,7 +17,10 @@ import (
 
 	"invarnetx/internal/experiments"
 	"invarnetx/internal/faults"
+	"invarnetx/internal/invariant"
 	"invarnetx/internal/metrics"
+	"invarnetx/internal/mic"
+	"invarnetx/internal/signature"
 	"invarnetx/internal/workload"
 )
 
@@ -408,6 +411,148 @@ func BenchmarkComputeMatrix(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchSparseRows synthesises an m-metric, n-tick window whose first
+// `coupled` metrics follow one latent series; decoupled breaks metrics 0
+// and 1 out of the couple (the fault window shape).
+func benchSparseRows(rng *RNG, m, n, coupled int, decoupled bool) [][]float64 {
+	latent := make([]float64, n)
+	for t := range latent {
+		latent[t] = rng.Float64()
+	}
+	rows := make([][]float64, m)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		for t := range rows[i] {
+			switch {
+			case decoupled && i < 2:
+				rows[i][t] = rng.Float64()
+			case i < coupled:
+				rows[i][t] = float64(i+1)*latent[t] + 0.1 + rng.Normal(0, 0.02)
+			default:
+				rows[i][t] = rng.Float64()
+			}
+		}
+	}
+	return rows
+}
+
+// BenchmarkDiagnoseSparse contrasts the dense violation pipeline (full
+// m(m−1)/2 association-matrix fill, then the tuple) against the sparse
+// tiered edge loop (trained pairs only, prescreen before the exact MIC) on
+// the same trained set: 20 metrics, 30-tick fault window, invariants pinned
+// to the 11-metric coupled block — 55 of 190 pairs, 29 % edge density. Both
+// arms start from the raw window (batch preparation included), which is
+// exactly what a diagnosis pays.
+func BenchmarkDiagnoseSparse(b *testing.B) {
+	const m, n, coupled = 20, 30, 11
+	rng := NewRNG(9)
+	var runs []*invariant.Matrix
+	for r := 0; r < 4; r++ {
+		batch, err := mic.NewBatch(benchSparseRows(rng.Fork(int64(r)), m, n, coupled, false), mic.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mat, err := invariant.ComputeMatrixScored(m, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs = append(runs, mat)
+	}
+	selected, err := invariant.Select(runs, invariant.DefaultTau)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pin the density: keep exactly the coupled-block pairs, so the sparse
+	// arm's workload is 55/190 pairs regardless of which noise pairs
+	// happened to look stable across the four training runs.
+	base := make(map[invariant.Pair]float64)
+	for p, v := range selected.Base {
+		if p.J < coupled {
+			base[p] = v
+		}
+	}
+	set := invariant.NewSet(m, base)
+	if want := coupled * (coupled - 1) / 2; set.Len() != want {
+		b.Fatalf("trained %d coupled-block invariants, want %d", set.Len(), want)
+	}
+	probe := benchSparseRows(rng.Fork(99), m, n, coupled, true)
+
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch, err := mic.NewBatch(probe, mic.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			mat, err := invariant.ComputeMatrixScored(m, batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := set.Violations(mat, invariant.DefaultEpsilon); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sparse", func(b *testing.B) {
+		var st invariant.EdgeStats
+		for i := 0; i < b.N; i++ {
+			batch, err := mic.NewBatch(probe, mic.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, es, err := set.ComputeEdgesScored(batch, invariant.DefaultEpsilon)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st = es
+		}
+		b.ReportMetric(float64(st.Screened), "screened-pairs")
+		b.ReportMetric(float64(st.Exact), "exact-pairs")
+	})
+}
+
+// BenchmarkSignatureMatch measures the bitset best-match scan over growing
+// signature bases: each entry costs a handful of popcount words, and the
+// early exits (precomputed-count fast paths, MinScore pruning) retire most
+// entries without the per-word loop.
+func BenchmarkSignatureMatch(b *testing.B) {
+	const tupleLen = 190 // one coordinate per trained pair at 20 metrics dense
+	rng := NewRNG(11)
+	mkTuple := func(ones int) signature.Tuple {
+		t := make(signature.Tuple, tupleLen)
+		for k := 0; k < ones; k++ {
+			t[rng.Intn(tupleLen)] = true
+		}
+		return t
+	}
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			db := &signature.DB{MinScore: 0.2}
+			for i := 0; i < n; i++ {
+				db.Add(signature.Entry{
+					Tuple:    mkTuple(2 + rng.Intn(20)),
+					Problem:  fmt.Sprintf("fault-%d", i%14),
+					IP:       "10.0.0.2",
+					Workload: "wordcount",
+				})
+			}
+			// One op is a batch of 32 distinct queries: a single scan is
+			// microseconds, too short for a stable figure to gate on.
+			queries := make([]signature.Tuple, 32)
+			for i := range queries {
+				queries[i] = mkTuple(12)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := db.Match(q, "10.0.0.2", "wordcount", Jaccard, 3); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkARXAssociation measures the ARX counterpart of BenchmarkMIC.

@@ -4,8 +4,9 @@
 //
 //	go test -bench 'MIC|ComputeMatrix' -benchmem -benchtime 200x . | benchjson > benchmarks/baseline.json
 //
-// With -compare it instead reads two such JSON files and fails (exit 1) if
-// any tracked benchmark regressed by more than -threshold:
+// With -compare it instead reads two such JSON files, prints a
+// per-benchmark delta table, and fails (exit 1) if any tracked benchmark
+// regressed by more than -threshold:
 //
 //	benchjson -compare benchmarks/baseline.json benchmarks/current.json
 //
@@ -65,6 +66,7 @@ func runCompare(basePath, newPath string, threshold float64) int {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 1
 	}
+	fmt.Print(benchparse.DeltaTable(base, cur))
 	regs := benchparse.Compare(base, cur, threshold)
 	if len(regs) == 0 {
 		fmt.Printf("benchjson: %d benchmarks within %.0f%% of baseline\n", len(base), threshold*100)

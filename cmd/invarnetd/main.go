@@ -26,6 +26,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux, served only by -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,6 +48,7 @@ func main() {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	reports := fs.Int("reports", server.DefaultReportCap, "retained diagnosis reports")
 	drainSecs := fs.Int("drain", 30, "shutdown drain budget (seconds)")
+	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on this address (e.g. 127.0.0.1:6060); empty = off")
 	smoke := fs.Bool("smoke", false, "run the self-test against a live socket and exit")
 	smokeSecs := fs.Float64("smoke-seconds", 3, "load duration in -smoke mode")
 	fs.Parse(os.Args[1:])
@@ -66,6 +68,18 @@ func main() {
 		}
 		fmt.Println("smoke: OK")
 		return
+	}
+
+	if *pprofAddr != "" {
+		// Profiling stays off the API handler: a second listener, bound by
+		// the operator (typically loopback-only), serving the default mux
+		// that the pprof import registered into.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("warning: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	if err := serve(cfg, *addr, time.Duration(*drainSecs)*time.Second); err != nil {

@@ -1,0 +1,54 @@
+package benchparse
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// DeltaTable renders a per-benchmark comparison of a new run against the
+// baseline: ns/op and allocs/op side by side with signed percentage deltas.
+// Benchmarks only in the new run are marked "new" (they join the gate once
+// the baseline is regenerated); benchmarks that vanished are marked
+// "missing". Rows follow baseline order, then new-only rows in run order.
+func DeltaTable(base, cur []Result) string {
+	curByName := make(map[string]Result, len(cur))
+	for _, r := range cur {
+		curByName[r.Name] = r
+	}
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tns/op (base)\tns/op (new)\tΔ\tallocs/op (base)\tallocs/op (new)\tΔ")
+	seen := make(map[string]bool, len(base))
+	for _, b := range base {
+		seen[b.Name] = true
+		c, ok := curByName[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "%s\t%.0f\t-\tmissing\t%d\t-\tmissing\n", b.Name, b.NsPerOp, b.AllocsPerOp)
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%s\t%d\t%d\t%s\n",
+			b.Name,
+			b.NsPerOp, c.NsPerOp, deltaPct(b.NsPerOp, c.NsPerOp),
+			b.AllocsPerOp, c.AllocsPerOp, deltaPct(float64(b.AllocsPerOp), float64(c.AllocsPerOp)))
+	}
+	for _, c := range cur {
+		if !seen[c.Name] {
+			fmt.Fprintf(w, "%s\t-\t%.0f\tnew\t-\t%d\tnew\n", c.Name, c.NsPerOp, c.AllocsPerOp)
+		}
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// deltaPct formats the relative change from base to cur as a signed
+// percentage; a zero baseline has no meaningful ratio.
+func deltaPct(base, cur float64) string {
+	if base == 0 {
+		if cur == 0 {
+			return "+0.0%"
+		}
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(cur-base)/base)
+}

@@ -1,0 +1,47 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeltaTable(t *testing.T) {
+	base := []Result{
+		{Name: "BenchmarkFast", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "BenchmarkGone", NsPerOp: 50, AllocsPerOp: 1},
+	}
+	cur := []Result{
+		{Name: "BenchmarkFast", NsPerOp: 150, AllocsPerOp: 5},
+		{Name: "BenchmarkNew", NsPerOp: 70, AllocsPerOp: 2},
+	}
+	table := DeltaTable(base, cur)
+	lines := strings.Split(strings.TrimRight(table, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d table lines, want header + 3 rows:\n%s", len(lines), table)
+	}
+	for _, want := range []struct {
+		row  int
+		frag string
+	}{
+		{1, "+50.0%"},  // BenchmarkFast ns/op 100 -> 150
+		{1, "-50.0%"},  // BenchmarkFast allocs/op 10 -> 5
+		{2, "missing"}, // BenchmarkGone vanished
+		{3, "new"},     // BenchmarkNew appeared
+	} {
+		if !strings.Contains(lines[want.row], want.frag) {
+			t.Errorf("row %d missing %q: %q", want.row, want.frag, lines[want.row])
+		}
+	}
+	if !strings.HasPrefix(lines[2], "BenchmarkGone") || !strings.HasPrefix(lines[3], "BenchmarkNew") {
+		t.Errorf("row order wrong:\n%s", table)
+	}
+}
+
+func TestDeltaPctZeroBase(t *testing.T) {
+	if got := deltaPct(0, 0); got != "+0.0%" {
+		t.Errorf("deltaPct(0,0) = %q", got)
+	}
+	if got := deltaPct(0, 5); got != "n/a" {
+		t.Errorf("deltaPct(0,5) = %q", got)
+	}
+}

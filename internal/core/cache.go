@@ -86,11 +86,24 @@ func fingerprintWindow(rows [][]float64, valid [][]bool) uint64 {
 	return h
 }
 
-// cacheEntry is one memoised analysis: the association matrix plus the
-// pair-knowledge mask (nil for a clean, all-known window).
+// reportSalt separates the sparse path's violation-report keys from the
+// dense path's association-matrix keys inside one assocCache: a report is
+// stored under fp^reportSalt, so the two entry kinds share the map, the
+// FIFO bound and the hit counters without ever colliding on a fingerprint.
+const reportSalt = 0x9e3779b97f4a7c15
+
+// cacheEntry is one memoised analysis. Dense entries hold the association
+// matrix plus the pair-knowledge mask (nil for a clean, all-known window);
+// sparse entries hold the finished violation report instead, valid only
+// while repSet is still the profile's current invariant set (pointer
+// identity — retraining installs a fresh *Set, invalidating every cached
+// report at once). All cached state is shared across callers and read-only.
 type cacheEntry struct {
 	mat  *invariant.Matrix
 	mask *invariant.PairMask
+
+	rep    *ViolationReport
+	repSet *invariant.Set
 }
 
 // assocCache memoises window analyses per content fingerprint with FIFO

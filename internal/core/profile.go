@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"invarnetx/internal/detect"
 	"invarnetx/internal/invariant"
@@ -35,6 +36,12 @@ type Profile struct {
 	windowPool trainingPool[*metrics.Trace]
 
 	monitors *detect.Registry
+
+	// Sparse-path edge telemetry (see SparseStats): how trained pairs were
+	// resolved across every sparse diagnosis of this profile.
+	sparseScreened atomic.Int64
+	sparseExact    atomic.Int64
+	sparseSkipped  atomic.Int64
 }
 
 // newProfile builds an empty profile for key under s's configuration.
@@ -189,10 +196,26 @@ func (p *Profile) Violations(abnormal *metrics.Trace) (*ViolationReport, error) 
 }
 
 func (p *Profile) violations(errCtx Context, abnormal *metrics.Trace) (*ViolationReport, error) {
+	return p.violationsHinted(errCtx, abnormal, nil)
+}
+
+// violationsHinted dispatches between the sparse hot path (default) and the
+// dense reference pipeline (Config.ExactDiagnosis). Both produce identical
+// reports; the hint only ever accelerates the sparse path.
+func (p *Profile) violationsHinted(errCtx Context, abnormal *metrics.Trace, hint *WindowHint) (*ViolationReport, error) {
 	set, err := p.invariantsFor(errCtx)
 	if err != nil {
 		return nil, err
 	}
+	if p.sys.cfg.ExactDiagnosis {
+		return p.violationsDense(set, abnormal)
+	}
+	return p.violationsSparse(set, abnormal, hint)
+}
+
+// violationsDense is the reference pipeline: full association matrix
+// (through the profile's matrix cache) plus ViolationsMasked over the set.
+func (p *Profile) violationsDense(set *invariant.Set, abnormal *metrics.Trace) (*ViolationReport, error) {
 	mat, mask, err := p.analyze(abnormal)
 	if err != nil {
 		return nil, err
@@ -291,7 +314,18 @@ func (p *Profile) Diagnose(abnormal *metrics.Trace) (*Diagnosis, error) {
 }
 
 func (p *Profile) diagnose(errCtx Context, abnormal *metrics.Trace) (*Diagnosis, error) {
-	rep, err := p.violations(errCtx, abnormal)
+	return p.diagnoseHinted(errCtx, abnormal, nil)
+}
+
+// DiagnoseHinted is Diagnose with serving-layer reuse state: a window
+// fingerprint for the report cache and/or a lazily built scorer over
+// incrementally maintained per-metric state. See WindowHint.
+func (p *Profile) DiagnoseHinted(abnormal *metrics.Trace, hint *WindowHint) (*Diagnosis, error) {
+	return p.diagnoseHinted(p.key, abnormal, hint)
+}
+
+func (p *Profile) diagnoseHinted(errCtx Context, abnormal *metrics.Trace, hint *WindowHint) (*Diagnosis, error) {
+	rep, err := p.violationsHinted(errCtx, abnormal, hint)
 	if err != nil {
 		return nil, err
 	}
@@ -355,8 +389,11 @@ type ProfileStats struct {
 	CPIRuns, Windows int
 	// Monitors is the number of live attached monitors.
 	Monitors int
-	// Cache reports the profile's association-matrix cache counters.
+	// Cache reports the profile's association-matrix cache counters
+	// (shared with the sparse path's report cache).
 	Cache CacheStats
+	// Sparse reports the sparse diagnosis path's edge counters.
+	Sparse SparseStats
 }
 
 // Stats snapshots the profile for reporting (invarctl profiles).
@@ -375,5 +412,6 @@ func (p *Profile) Stats() ProfileStats {
 	p.mu.RUnlock()
 	st.Monitors = p.monitors.Len()
 	st.Cache = p.CacheStats()
+	st.Sparse = p.SparseStats()
 	return st
 }

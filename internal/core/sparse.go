@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"invarnetx/internal/invariant"
+	"invarnetx/internal/metrics"
+	"invarnetx/internal/signature"
+)
+
+// This file is the sparse diagnosis hot path: Violations/Diagnose cost
+// proportional to the trained invariant edge set instead of the full M×M
+// matrix. Per window it runs three tiers — a memoised report lookup (the
+// window fingerprint, salted into the profile's assocCache), the prescreen
+// lower bound over each trained pair (invariant.Prescreener), and the exact
+// association only for the pairs the screen cannot certify. Verdicts are
+// identical to the dense pipeline's (the prescreen certificate is
+// one-sided); Config.ExactDiagnosis forces the dense reference path.
+
+// WindowHint carries serving-layer reuse state into one diagnosis call.
+// Both fields are optional; a nil hint (or zero value) makes DiagnoseHinted
+// identical to Diagnose.
+type WindowHint struct {
+	// FP, with HasFP set, replaces the content fingerprint for the report
+	// cache: a caller that knows when its window changed (e.g. a stream
+	// hashing its identity and window generation) saves the O(m·n) hash of
+	// the samples. The caller must guarantee FP changes whenever the window
+	// content does, and never collides with another window of the same
+	// profile.
+	FP    uint64
+	HasFP bool
+	// Scorer, when non-nil, lazily supplies the pair scorer for the window —
+	// typically built from incrementally maintained per-metric state
+	// (mic.Slider) so the per-window sort/partition work is already paid.
+	// It is only invoked on a report-cache miss. The scorer must compute
+	// the same association measure as the profile's configuration over
+	// exactly the window being diagnosed; returning nil falls back to the
+	// configured batch or per-pair path.
+	Scorer func() invariant.PairScorer
+}
+
+// SparseStats aggregates sparse-path edge telemetry: how trained pairs were
+// resolved across all diagnoses (see invariant.EdgeStats for the tiers).
+// Report-cache hits evaluate no pairs and advance nothing.
+type SparseStats struct {
+	Screened int64
+	Exact    int64
+	Skipped  int64
+}
+
+// funcScorer adapts the per-pair association function to the PairScorer
+// shape for the sparse edge loop when no batch form exists.
+type funcScorer struct {
+	rows  [][]float64
+	assoc invariant.AssociationFunc
+}
+
+func (f funcScorer) Score(i, j int) float64 { return f.assoc(f.rows[i], f.rows[j]) }
+
+// checkWindow validates the window shape against the invariant set before
+// the sparse edge loop (the dense path's equivalents live inside
+// ComputeMatrix and ViolationsMasked).
+func checkWindow(rows [][]float64, m int) error {
+	if len(rows) != m {
+		return fmt.Errorf("core: %d metric rows, invariant set dimension %d", len(rows), m)
+	}
+	if m == 0 {
+		return fmt.Errorf("core: empty window")
+	}
+	n := len(rows[0])
+	for i, r := range rows {
+		if len(r) != n {
+			return fmt.Errorf("core: metric %d has %d samples, want %d", i, len(r), n)
+		}
+	}
+	return nil
+}
+
+// violationsSparse computes the violation report over the trained edges
+// only. The returned report may be shared with the profile's cache and
+// other callers — strictly read-only.
+func (p *Profile) violationsSparse(set *invariant.Set, tr *metrics.Trace, hint *WindowHint) (*ViolationReport, error) {
+	var fp uint64
+	haveFP := false
+	if p.cache != nil {
+		if hint != nil && hint.HasFP {
+			fp = hint.FP
+		} else {
+			fp = fingerprintWindow(tr.Rows, tr.Valid)
+		}
+		haveFP = true
+		if e, ok := p.cache.get(fp ^ reportSalt); ok && e.rep != nil && e.repSet == set {
+			return e.rep, nil
+		}
+	}
+	if err := checkWindow(tr.Rows, set.M); err != nil {
+		return nil, err
+	}
+	cfg := &p.sys.cfg
+	var scorer invariant.PairScorer
+	if hint != nil && hint.Scorer != nil {
+		scorer = hint.Scorer()
+	}
+	if scorer == nil && cfg.BatchAssoc != nil {
+		// Preparation errors (too few samples, non-finite values) drop the
+		// batch tier, exactly as in the dense compute path.
+		if sc, err := cfg.BatchAssoc(tr.Rows); err == nil {
+			scorer = sc
+		}
+	}
+	degraded := traceDegraded(tr)
+	var (
+		raw, known []bool
+		st         invariant.EdgeStats
+		err        error
+	)
+	if degraded {
+		raw, known, st, err = set.ComputeEdgesMasked(tr.Rows, tr.Valid, cfg.Assoc, scorer, 0, cfg.Epsilon)
+	} else {
+		if scorer == nil {
+			scorer = funcScorer{rows: tr.Rows, assoc: cfg.Assoc}
+		}
+		raw, st, err = set.ComputeEdgesScored(scorer, cfg.Epsilon)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep := &ViolationReport{Tuple: signature.Tuple(raw), Coverage: 1}
+	if degraded {
+		rep.Known = known
+		checkable := 0
+		for _, ok := range known {
+			if ok {
+				checkable++
+			}
+		}
+		if len(known) > 0 {
+			rep.Coverage = float64(checkable) / float64(len(known))
+		}
+	}
+	for k, pr := range set.SortedPairs() {
+		if raw[k] && (known == nil || known[k]) {
+			rep.Violated = append(rep.Violated, pr)
+		}
+	}
+	p.sparseScreened.Add(int64(st.Screened))
+	p.sparseExact.Add(int64(st.Exact))
+	p.sparseSkipped.Add(int64(st.Skipped))
+	if haveFP {
+		p.cache.put(fp^reportSalt, cacheEntry{rep: rep, repSet: set})
+	}
+	return rep, nil
+}
+
+// SparseStats returns the profile's cumulative sparse-path edge counters.
+func (p *Profile) SparseStats() SparseStats {
+	return SparseStats{
+		Screened: p.sparseScreened.Load(),
+		Exact:    p.sparseExact.Load(),
+		Skipped:  p.sparseSkipped.Load(),
+	}
+}

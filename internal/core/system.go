@@ -86,6 +86,15 @@ type Config struct {
 	// false, a single global profile and an unscoped signature search are
 	// used — the "InvarNet-X (no operation context)" ablation.
 	UseContext bool
+	// ExactDiagnosis forces Violations/Diagnose down the reference dense
+	// pipeline: full association matrix, no prescreen, no report caching.
+	// The default sparse path evaluates only the trained invariant edges
+	// with a conservative prescreen in front of the exact computation;
+	// it produces identical verdicts (the prescreen certificate is
+	// one-sided, pinned by the equivalence tests), so this switch exists as
+	// an operational escape hatch and as the reference arm of those tests,
+	// not because the answers differ.
+	ExactDiagnosis bool
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -482,6 +491,43 @@ func (s *System) Diagnose(ctx Context, abnormal *metrics.Trace) (*Diagnosis, err
 		return nil, fmt.Errorf("%w: %v", ErrNoInvariants, ctx)
 	}
 	return p.diagnose(ctx, abnormal)
+}
+
+// DiagnoseHinted is Diagnose with serving-layer reuse state (a window
+// fingerprint and/or an incrementally maintained scorer; see WindowHint).
+func (s *System) DiagnoseHinted(ctx Context, abnormal *metrics.Trace, hint *WindowHint) (*Diagnosis, error) {
+	p, ok := s.lookup(ctx)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoInvariants, ctx)
+	}
+	return p.diagnoseHinted(ctx, abnormal, hint)
+}
+
+// SparseStats aggregates the sparse diagnosis path's edge counters across
+// every profile: pairs certified by the prescreen, pairs that ran the exact
+// association, and pairs reported unknown under degraded telemetry.
+func (s *System) SparseStats() SparseStats {
+	var st SparseStats
+	for _, p := range s.Profiles() {
+		ps := p.SparseStats()
+		st.Screened += ps.Screened
+		st.Exact += ps.Exact
+		st.Skipped += ps.Skipped
+	}
+	return st
+}
+
+// SignatureScanStats aggregates the signature best-match scan counters
+// across every profile: entries considered and entries resolved by an early
+// exit (precomputed-popcount fast paths, stale-length skips, MinScore
+// pruning).
+func (s *System) SignatureScanStats() (entries, earlyExits int64) {
+	for _, p := range s.Profiles() {
+		e, x := p.sigs.ScanStats()
+		entries += e
+		earlyExits += x
+	}
+	return entries, earlyExits
 }
 
 // ProfileStats snapshots every registered profile for reporting, in

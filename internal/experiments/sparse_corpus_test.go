@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"invarnetx/internal/core"
+	"invarnetx/internal/workload"
+)
+
+// TestSparseCorpusEquivalence: across the simulator corpus — every batch
+// fault kind injected into a wordcount run — the default sparse tiered
+// diagnosis path must produce exactly the violation verdicts and ranked
+// causes of the ExactDiagnosis dense reference pipeline. This is the
+// end-to-end guarantee behind the prescreen: its certificate is one-sided,
+// so no window in the corpus may flip a verdict.
+func TestSparseCorpusEquivalence(t *testing.T) {
+	opts := tinyOptions()
+	exactOpts := opts
+	exactOpts.Config.ExactDiagnosis = true
+
+	rSp := NewRunner(opts)
+	rEx := NewRunner(exactOpts)
+	sysSp, _, err := rSp.TrainSystem(workload.Wordcount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysEx, _, err := rEx.TrainSystem(workload.Wordcount)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, kind := range FaultKindsFor(workload.Wordcount) {
+		// Same runner options and seeds on both sides: run the fault once
+		// and diagnose the identical target window through each system.
+		res, err := rSp.Run(workload.Wordcount, kind, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		tr := res.TargetTrace()
+		if tr == nil {
+			t.Fatalf("%s: no target trace", kind)
+		}
+		win, err := AbnormalWindow(tr, opts.FaultStart, opts.FaultTicks)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		ctx := core.Context{Workload: string(workload.Wordcount), IP: res.TargetIP}
+		if err := sysSp.BuildSignature(ctx, string(kind), win); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := sysEx.BuildSignature(ctx, string(kind), win); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+
+		probe, err := rSp.Run(workload.Wordcount, kind, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		ptr := probe.TargetTrace()
+		pwin, err := AbnormalWindow(ptr, opts.FaultStart, opts.FaultTicks)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		pctx := core.Context{Workload: string(workload.Wordcount), IP: probe.TargetIP}
+		dSp, err := sysSp.Diagnose(pctx, pwin)
+		if err != nil {
+			t.Fatalf("%s: sparse diagnose: %v", kind, err)
+		}
+		dEx, err := sysEx.Diagnose(pctx, pwin)
+		if err != nil {
+			t.Fatalf("%s: exact diagnose: %v", kind, err)
+		}
+		if !reflect.DeepEqual(dSp, dEx) {
+			t.Errorf("%s: sparse diagnosis diverged from exact:\nsparse %+v\nexact  %+v", kind, dSp, dEx)
+		}
+	}
+
+	if st := sysSp.SparseStats(); st.Screened+st.Exact == 0 {
+		t.Error("sparse path evaluated no edges across the corpus")
+	}
+}

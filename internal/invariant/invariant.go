@@ -422,15 +422,22 @@ func (s *Set) Violations(abnormal *Matrix, epsilon float64) ([]bool, error) {
 		epsilon = DefaultEpsilon
 	}
 	out := make([]bool, len(s.pairs))
-	// The small slack makes the >= comparison robust to floating-point
-	// representation of differences that are exactly epsilon.
-	const slack = 1e-9
 	for k, p := range s.pairs {
-		if math.Abs(s.Base[p]-abnormal.Get(p.I, p.J)) >= epsilon-slack {
+		if violatedVerdict(s.Base[p], abnormal.Get(p.I, p.J), epsilon) {
 			out[k] = true
 		}
 	}
 	return out, nil
+}
+
+// violatedVerdict is the single violation test shared by the dense and
+// sparse paths: |base − score| ≥ epsilon, with a small slack making the
+// comparison robust to floating-point representation of differences that
+// are exactly epsilon. Keeping it in one place is what lets the sparse edge
+// path (sparse.go) guarantee verdict-identical results.
+func violatedVerdict(base, score, epsilon float64) bool {
+	const slack = 1e-9
+	return math.Abs(base-score) >= epsilon-slack
 }
 
 // ViolationsMasked is Violations under a degraded telemetry window: pairs
@@ -449,13 +456,12 @@ func (s *Set) ViolationsMasked(abnormal *Matrix, epsilon float64, mask *PairMask
 	}
 	tuple = make([]bool, len(s.pairs))
 	known = make([]bool, len(s.pairs))
-	const slack = 1e-9
 	for k, p := range s.pairs {
 		if mask != nil && !mask.OK(p.I, p.J) {
 			continue // unknown: both flags stay false
 		}
 		known[k] = true
-		if math.Abs(s.Base[p]-abnormal.Get(p.I, p.J)) >= epsilon-slack {
+		if violatedVerdict(s.Base[p], abnormal.Get(p.I, p.J), epsilon) {
 			tuple[k] = true
 		}
 	}

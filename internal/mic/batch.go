@@ -49,6 +49,51 @@ func NewBatch(rows [][]float64, cfg Config) (*Batch, error) {
 	return b, nil
 }
 
+// ErrNotPrepared marks a batch slot with no preparation: every pair the
+// metric participates in scores 0, matching the degenerate-data sentinel.
+var ErrNotPrepared = errors.New("mic: metric not prepared")
+
+// NewBatchPrepared assembles a batch from already-built preparations —
+// typically Slider snapshots maintained incrementally by the serving layer.
+// Nil entries mark degenerate metrics (masked windows, too few samples) and
+// score 0 against every partner, exactly as NewBatch treats metrics whose
+// rows fail Prepare. All non-nil preparations must cover the same sample
+// count under the same configuration.
+func NewBatchPrepared(preps []*Prepared) (*Batch, error) {
+	if len(preps) == 0 {
+		return nil, errors.New("mic: batch needs at least one metric")
+	}
+	n, cfg, seen := 0, Config{}, false
+	for i, p := range preps {
+		if p == nil {
+			continue
+		}
+		if !seen {
+			n, cfg, seen = p.n, p.cfg, true
+			continue
+		}
+		if p.n != n {
+			return nil, fmt.Errorf("mic: metric %d has %d samples, want %d", i, p.n, n)
+		}
+		if p.cfg != cfg {
+			return nil, fmt.Errorf("mic: metric %d prepared under config %+v, want %+v", i, p.cfg, cfg)
+		}
+	}
+	b := &Batch{
+		prepared: make([]*Prepared, len(preps)),
+		errs:     make([]error, len(preps)),
+	}
+	b.pool.New = func() any { return NewScratch() }
+	for i, p := range preps {
+		if p == nil {
+			b.errs[i] = ErrNotPrepared
+			continue
+		}
+		b.prepared[i] = p
+	}
+	return b, nil
+}
+
 // Len returns the number of metrics in the batch.
 func (b *Batch) Len() int { return len(b.prepared) }
 

@@ -43,6 +43,12 @@ type Prepared struct {
 	rowOf  [][]int
 	hq     []float64
 	rowsOK []bool
+
+	// Fractional ranks (1-based, ties averaged) and their sum of squared
+	// deviations from the mean rank (n+1)/2 — the inputs the Spearman
+	// prescreen needs, derived for free from order/tieEnds (see screen.go).
+	ranks  []float64
+	rankSS float64
 }
 
 // resolved returns cfg with zero values replaced by the sample-size
@@ -81,13 +87,27 @@ func Prepare(xs []float64, cfg Config) (*Prepared, error) {
 			return nil, ErrNonFinite
 		}
 	}
-	cfg = cfg.resolved(n)
-	p := &Prepared{cfg: cfg, vals: xs, n: n, b: budgetFor(n, cfg.Alpha)}
-	p.order = make([]int, n)
-	for i := range p.order {
-		p.order[i] = i
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
 	}
-	sort.Slice(p.order, func(a, b int) bool { return xs[p.order[a]] < xs[p.order[b]] })
+	sort.Slice(order, func(a, b int) bool { return xs[order[a]] < xs[order[b]] })
+	return newPrepared(xs, order, cfg), nil
+}
+
+// newPrepared builds a preparation from samples and a precomputed
+// value-ascending point order, computing the tie boundaries, equipartitions
+// and rank data shared by every pair the metric participates in. The caller
+// guarantees xs holds at least MinSamples finite values and that order is a
+// permutation of [0,n) ascending by value (the relative order of equal
+// values is immaterial: every consumer works at tie-group granularity).
+// Both slices are retained, not copied. Slider maintains such an order
+// incrementally across window advances and funnels in here, skipping the
+// O(n log n) re-sort Prepare pays.
+func newPrepared(xs []float64, order []int, cfg Config) *Prepared {
+	n := len(xs)
+	cfg = cfg.resolved(n)
+	p := &Prepared{cfg: cfg, vals: xs, n: n, b: budgetFor(n, cfg.Alpha), order: order}
 	for i := 0; i < n; {
 		j := i + 1
 		for j < n && xs[p.order[j]] == xs[p.order[i]] {
@@ -108,7 +128,21 @@ func Prepare(xs []float64, cfg Config) (*Prepared, error) {
 		p.hq[rows] = hq
 		p.rowsOK[rows] = ok
 	}
-	return p, nil
+	p.ranks = make([]float64, n)
+	start := 0
+	for _, end := range p.tieEnds {
+		r := float64(start+end+1) / 2 // average 1-based rank of the tie run
+		for k := start; k < end; k++ {
+			p.ranks[p.order[k]] = r
+		}
+		start = end
+	}
+	mean := float64(n+1) / 2
+	for _, r := range p.ranks {
+		d := r - mean
+		p.rankSS += d * d
+	}
+	return p
 }
 
 // N returns the sample size the preparation covers.

@@ -1,0 +1,139 @@
+package mic
+
+import "math"
+
+// Prescreen tier: a cheap, conservative lower bound on a pair's MIC,
+// computed in O(n) from data every Prepared already carries. The invariant
+// layer uses it to certify "this invariant still holds" without running the
+// full DP: since MIC never exceeds 1, a lower bound above the violation
+// threshold pins the score inside the invariant's tolerance band from both
+// sides. The bound can never certify a *violation* (that would need a cheap
+// upper bound, which the grid search does not admit), so suspicious pairs
+// always fall through to the exact computation — the screen only
+// accelerates the common case where the system is healthy.
+//
+// The bound itself is the mutual information of a both-axes equipartition
+// at a few budget-admissible grid shapes, normalised exactly as the
+// characteristic matrix is. The DP optimises one axis over a superset of
+// these partitions, so the equipartition value cannot exceed the optimum —
+// up to the superclump capping, which thins the boundary set the DP sees
+// and can cost it a sliver of mutual information. screenMargin absorbs that
+// approximation slop; TestScreenLowIsLowerBound pins the inequality
+// empirically across coupled, noisy, monotone, non-monotone and tie-heavy
+// inputs, and core.Config.ExactDiagnosis bypasses the screen entirely.
+
+// screenMargin is subtracted from the equipartition bound to cover the
+// superclump approximation in the exact DP (see buildClumpEnds): the DP may
+// lose a little mutual information relative to an uncapped boundary set, so
+// the screen must under-promise by at least that much.
+const screenMargin = 0.05
+
+// screenRhoGate is the minimum squared Spearman correlation at which the
+// grid bound is worth computing. Equipartition grids only certify
+// relationships with monotone mass (the same structure rank correlation
+// sees), so when |rho| is small the bound would come out near zero anyway
+// and the pair goes straight to the exact path.
+const screenRhoGate = 0.25
+
+// ScreenLow returns a conservative lower bound on Score(i, j), or 0 when no
+// cheap certificate exists (degenerate metrics, weak rank correlation).
+// Safe for concurrent use. It satisfies the invariant package's Prescreener
+// interface.
+func (b *Batch) ScreenLow(i, j int) float64 {
+	px, py := b.prepared[i], b.prepared[j]
+	if px == nil || py == nil {
+		return 0
+	}
+	rho := spearman(px, py)
+	if rho*rho < screenRhoGate {
+		return 0
+	}
+	sc := b.pool.Get().(*Scratch)
+	lb := screenLow(px, py, sc)
+	b.pool.Put(sc)
+	return lb
+}
+
+// spearman returns the Spearman rank correlation of two prepared metrics,
+// 0 when either is constant. One O(n) pass over the precomputed ranks.
+func spearman(px, py *Prepared) float64 {
+	if px.rankSS == 0 || py.rankSS == 0 {
+		return 0
+	}
+	mean := float64(px.n+1) / 2
+	var cov float64
+	for t := 0; t < px.n; t++ {
+		cov += (px.ranks[t] - mean) * (py.ranks[t] - mean)
+	}
+	return cov / math.Sqrt(px.rankSS*py.rankSS)
+}
+
+// screenLow evaluates the both-axes-equipartition mutual information at a
+// few budget-admissible grid shapes and returns the best normalised value
+// minus screenMargin, clamped to [0,1].
+func screenLow(px, py *Prepared, sc *Scratch) float64 {
+	maxRows := px.b / 2
+	shapes := [3][2]int{{2, 2}, {2, maxRows}, {maxRows, 2}}
+	var best float64
+	for _, s := range shapes {
+		a, r := s[0], s[1]
+		if a < 2 || r < 2 || a*r > px.b {
+			continue
+		}
+		if a >= len(px.rowsOK) || r >= len(py.rowsOK) || !px.rowsOK[a] || !py.rowsOK[r] {
+			continue
+		}
+		norm := math.Log(math.Min(float64(a), float64(r)))
+		if norm <= 0 {
+			continue
+		}
+		mi := equipartitionMI(px.rowOf[a], py.rowOf[r], a, r, px.n, sc)
+		if v := mi / norm; v > best {
+			best = v
+		}
+	}
+	best -= screenMargin
+	if best < 0 {
+		best = 0
+	}
+	if best > 1 {
+		best = 1
+	}
+	return best
+}
+
+// equipartitionMI returns the mutual information of the joint distribution
+// induced by assigning point t to cell (colOf[t], rowOf[t]) of an a×r grid.
+func equipartitionMI(colOf, rowOf []int, a, r, n int, sc *Scratch) float64 {
+	sc.cum = intsFor(sc.cum, a*r+a+r)
+	joint := sc.cum[:a*r]
+	colTot := sc.cum[a*r : a*r+a]
+	rowTot := sc.cum[a*r+a:]
+	for i := range sc.cum {
+		sc.cum[i] = 0
+	}
+	for t := 0; t < n; t++ {
+		joint[colOf[t]*r+rowOf[t]]++
+		colTot[colOf[t]]++
+		rowTot[rowOf[t]]++
+	}
+	var mi float64
+	fn := float64(n)
+	for i := 0; i < a; i++ {
+		if colTot[i] == 0 {
+			continue
+		}
+		for j := 0; j < r; j++ {
+			c := joint[i*r+j]
+			if c == 0 || rowTot[j] == 0 {
+				continue
+			}
+			mi += float64(c) * math.Log(float64(c)*fn/float64(colTot[i]*rowTot[j]))
+		}
+	}
+	mi /= fn
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}

@@ -1,0 +1,81 @@
+package mic
+
+import (
+	"math"
+	"testing"
+
+	"invarnetx/internal/stats"
+)
+
+// TestScreenLowIsLowerBound pins the screen's contract: for every pair it
+// certifies, the bound must not exceed the exact score — otherwise the
+// invariant layer could declare a violated pair healthy. The sweep covers
+// the same relationship shapes the prepared-engine tests use (linear,
+// quadratic, sinusoid, noise, heavy ties) across several window sizes.
+func TestScreenLowIsLowerBound(t *testing.T) {
+	rng := stats.NewRNG(1800)
+	for _, n := range []int{8, 12, 30, 64, 120, 300} {
+		for shape := 0; shape < 5; shape++ {
+			for rep := 0; rep < 6; rep++ {
+				xs, ys := genPair(rng, n, shape)
+				b, err := NewBatch([][]float64{xs, ys}, DefaultConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				lb := b.ScreenLow(0, 1)
+				score := b.Score(0, 1)
+				if lb > score {
+					t.Errorf("n=%d shape=%d rep=%d: ScreenLow %v > Score %v", n, shape, rep, lb, score)
+				}
+				if lb < 0 || lb > 1 {
+					t.Errorf("n=%d shape=%d rep=%d: ScreenLow %v outside [0,1]", n, shape, rep, lb)
+				}
+			}
+		}
+	}
+}
+
+// TestScreenLowCertifiesCoupledPairs checks the screen has teeth: a strong
+// monotone coupling — the shape every trained invariant in the simulator
+// has — must clear a realistic violation threshold without the DP.
+func TestScreenLowCertifiesCoupledPairs(t *testing.T) {
+	rng := stats.NewRNG(1801)
+	n := 30
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Uniform(0, 1)
+		ys[i] = 3*xs[i] + rng.Normal(0, 0.01)
+	}
+	b, err := NewBatch([][]float64{xs, ys}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb := b.ScreenLow(0, 1); lb < 0.7 {
+		t.Errorf("ScreenLow on tight coupling = %v, want >= 0.7", lb)
+	}
+}
+
+// TestScreenLowDegenerate: degenerate metrics certify nothing.
+func TestScreenLowDegenerate(t *testing.T) {
+	n := 30
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	zs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 7.5 // constant
+		zs[i] = float64(i)
+	}
+	zs[4] = math.NaN()
+	b, err := NewBatch([][]float64{xs, ys, zs}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb := b.ScreenLow(0, 1); lb != 0 {
+		t.Errorf("ScreenLow against constant metric = %v, want 0", lb)
+	}
+	if lb := b.ScreenLow(0, 2); lb != 0 {
+		t.Errorf("ScreenLow against non-finite metric = %v, want 0", lb)
+	}
+}

@@ -1,0 +1,112 @@
+package mic
+
+import (
+	"errors"
+	"math"
+)
+
+// Slider maintains one metric's sliding window together with its
+// value-ascending point order, so advancing the window by k samples costs
+// O(k·n) index maintenance instead of the O(n log n) re-sort Prepare pays —
+// the serving layer keeps one per (stream, metric) and snapshots a Prepared
+// only when a diagnosis actually needs it.
+//
+// Invalid samples (telemetry gaps, non-finite values) are tracked but kept
+// out of the order; a window containing any is unusable for whole-window
+// scoring (Prepared reports ErrWindowMasked) and the caller falls back to
+// the masked per-pair path, exactly as a fresh Batch over the same rows
+// would treat the metric.
+type Slider struct {
+	cfg   Config
+	cap   int
+	vals  []float64 // window samples, time order
+	ok    []bool    // per-sample validity (valid and finite)
+	order []int     // indices of usable samples, ascending by value
+}
+
+// ErrWindowMasked reports a slider window containing invalid or non-finite
+// samples: no whole-window preparation exists for it.
+var ErrWindowMasked = errors.New("mic: slider window has masked samples")
+
+// NewSlider returns an empty slider bounded at capacity samples.
+// The configuration must match the one the diagnosis batch would use.
+func NewSlider(capacity int, cfg Config) *Slider {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Slider{cfg: cfg, cap: capacity}
+}
+
+// Len returns the current window length.
+func (s *Slider) Len() int { return len(s.vals) }
+
+// Append pushes the newest sample, evicting the oldest when the window is
+// full. Invalid or non-finite samples are stored (the window keeps its time
+// shape) but excluded from the maintained order.
+func (s *Slider) Append(v float64, valid bool) {
+	if valid && (math.IsNaN(v) || math.IsInf(v, 0)) {
+		valid = false
+	}
+	if len(s.vals) == s.cap {
+		s.evictOldest()
+	}
+	idx := len(s.vals)
+	s.vals = append(s.vals, v)
+	s.ok = append(s.ok, valid)
+	if !valid {
+		return
+	}
+	// Insert after every existing value <= v: one binary search plus one
+	// memmove, versus re-sorting the whole window.
+	lo, hi := 0, len(s.order)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.vals[s.order[mid]] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s.order = append(s.order, 0)
+	copy(s.order[lo+1:], s.order[lo:])
+	s.order[lo] = idx
+}
+
+// evictOldest drops sample 0 and renumbers the survivors.
+func (s *Slider) evictOldest() {
+	copy(s.vals, s.vals[1:])
+	s.vals = s.vals[:len(s.vals)-1]
+	copy(s.ok, s.ok[1:])
+	s.ok = s.ok[:len(s.ok)-1]
+	w := 0
+	for _, idx := range s.order {
+		if idx == 0 {
+			continue // the evicted sample
+		}
+		s.order[w] = idx - 1
+		w++
+	}
+	s.order = s.order[:w]
+}
+
+// Prepared snapshots the current window as a fresh Prepared, reusing the
+// maintained order (the tie boundaries, equipartitions and ranks are
+// rebuilt — they do not admit incremental maintenance, but they are O(n)
+// given the order). The snapshot copies the window, so later Appends do not
+// disturb it. Degenerate windows report the same errors Prepare would:
+// ErrTooFewSamples below MinSamples, and ErrWindowMasked when any sample is
+// invalid (a fresh preparation over the masked row would be meaningless).
+func (s *Slider) Prepared() (*Prepared, error) {
+	n := len(s.vals)
+	if n < MinSamples {
+		return nil, ErrTooFewSamples
+	}
+	if len(s.order) != n {
+		return nil, ErrWindowMasked
+	}
+	vals := make([]float64, n)
+	copy(vals, s.vals)
+	order := make([]int, n)
+	copy(order, s.order)
+	return newPrepared(vals, order, s.cfg), nil
+}

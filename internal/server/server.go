@@ -97,6 +97,12 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
+	// useSliders enables per-stream incremental MIC preparation: only when
+	// diagnosis would score pairs through the stock batched MIC (the one
+	// measure whose per-metric state the serving layer knows how to maintain
+	// delta-aware) and the sparse path is active to consume the snapshots.
+	useSliders bool
+
 	draining atomic.Bool
 	shutOnce sync.Once
 	shutErr  error
@@ -123,6 +129,12 @@ func New(cfg Config) (*Server, *core.LoadReport, error) {
 		streams: make(map[core.Context]*stream),
 		start:   time.Now(),
 	}
+	// A custom Assoc or explicit BatchAssoc must not be silently replaced by
+	// MIC slider snapshots — the same gate core.New applies when auto-wiring
+	// the batch path.
+	s.useSliders = !cfg.Core.ExactDiagnosis &&
+		cfg.Core.BatchAssoc == nil &&
+		(cfg.Core.Assoc == nil || core.BatchFor(cfg.Core.Assoc) != nil)
 	var rep *core.LoadReport
 	if cfg.StoreDir != "" {
 		r, err := s.sys.LoadFrom(cfg.StoreDir)
@@ -372,7 +384,15 @@ func (s *Server) runDiagnosis(st *stream, rep *report, samples []Sample) {
 		finish(nil, err.Error())
 		return
 	}
-	diag, err := s.sys.Diagnose(st.ctx, tr)
+	// Stream-window diagnoses carry the delta-aware reuse hint: the window
+	// generation keys the report cache, and the slider snapshots spare the
+	// per-window sort/partition work on a miss. Explicit-sample diagnoses
+	// have no serving-side state to reuse.
+	var hint *core.WindowHint
+	if samples == nil {
+		hint = st.windowHint()
+	}
+	diag, err := s.sys.DiagnoseHinted(st.ctx, tr, hint)
 	if err != nil {
 		finish(nil, err.Error())
 		return
@@ -535,6 +555,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if lookups := cache.Hits + cache.Misses; lookups > 0 {
 		hitRate = float64(cache.Hits) / float64(lookups)
 	}
+	sparse := s.sys.SparseStats()
+	sigScanned, sigEarly := s.sys.SignatureScanStats()
+	sigEarlyRate := 0.0
+	if sigScanned > 0 {
+		sigEarlyRate = float64(sigEarly) / float64(sigScanned)
+	}
 	h := &s.ctr.diagnoseLatency
 	writeJSON(w, http.StatusOK, Stats{
 		UptimeSec:     time.Since(s.start).Seconds(),
@@ -562,6 +588,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		AssocCacheMisses:  cache.Misses,
 		AssocCacheEntries: cache.Entries,
 		AssocCacheHitRate: hitRate,
+
+		SparseScreenedPairs: sparse.Screened,
+		SparseExactPairs:    sparse.Exact,
+		SparseSkippedPairs:  sparse.Skipped,
+
+		SigScanEntries:       sigScanned,
+		SigScanEarlyExits:    sigEarly,
+		SigScanEarlyExitRate: sigEarlyRate,
 
 		DiagnoseLatency: LatencySummary{
 			Count:  h.total.Load(),

@@ -128,5 +128,19 @@ type Stats struct {
 	AssocCacheEntries int     `json:"assocCacheEntries"`
 	AssocCacheHitRate float64 `json:"assocCacheHitRate"` // 0 when no lookups yet
 
+	// Sparse diagnosis tiers: trained pairs certified by the prescreen lower
+	// bound, pairs that ran the exact association, and pairs reported
+	// unknown under degraded telemetry. All zero under ExactDiagnosis.
+	SparseScreenedPairs int64 `json:"sparseScreenedPairs"`
+	SparseExactPairs    int64 `json:"sparseExactPairs"`
+	SparseSkippedPairs  int64 `json:"sparseSkippedPairs"`
+
+	// Signature best-match scan: entries considered, entries resolved by an
+	// early exit (popcount fast paths, stale-length skips, MinScore
+	// pruning), and the resulting early-exit rate (0 when nothing scanned).
+	SigScanEntries       int64   `json:"sigScanEntries"`
+	SigScanEarlyExits    int64   `json:"sigScanEarlyExits"`
+	SigScanEarlyExitRate float64 `json:"sigScanEarlyExitRate"`
+
 	DiagnoseLatency LatencySummary `json:"diagnoseLatency"`
 }

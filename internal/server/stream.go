@@ -7,7 +7,9 @@ import (
 
 	"invarnetx/internal/core"
 	"invarnetx/internal/detect"
+	"invarnetx/internal/invariant"
 	"invarnetx/internal/metrics"
+	"invarnetx/internal/mic"
 )
 
 // stream is the serving-side state of one operation context: the sliding
@@ -24,6 +26,15 @@ type stream struct {
 
 	mu      sync.Mutex
 	samples []Sample // sliding window, newest last, len <= Config.WindowCap
+	// gen counts applied ingest batches: it changes whenever the window
+	// content can have changed, so hash(context, gen) fingerprints the
+	// window for the sparse report cache without hashing the samples.
+	gen uint64
+	// sliders hold per-metric incremental sort state mirroring the window
+	// (delta-aware re-sort on every slide), so a diagnosis can snapshot
+	// ready-made MIC preparations instead of re-sorting the whole window.
+	// Nil when the configured association has no batched-MIC form.
+	sliders []*mic.Slider
 
 	monitor  *detect.Monitor
 	ingested atomic.Int64
@@ -36,6 +47,28 @@ type stream struct {
 // queue.
 func (st *stream) apply(srv *Server, batch []Sample) {
 	st.mu.Lock()
+	if srv.useSliders && st.sliders == nil {
+		st.sliders = make([]*mic.Slider, metrics.Count)
+		for i := range st.sliders {
+			st.sliders[i] = mic.NewSlider(srv.cfg.WindowCap, mic.DefaultConfig())
+		}
+	}
+	if st.sliders != nil {
+		// Feed the sliders exactly the values TraceFromSamples would store
+		// (zero placeholders of invalid entries become NaN), so a scorer
+		// built from their snapshots sees the same window the trace carries.
+		for _, smp := range batch {
+			for m := 0; m < metrics.Count; m++ {
+				v := smp.Metrics[m]
+				ok := smp.Valid == nil || smp.Valid[m]
+				if !ok && v == 0 {
+					v = math.NaN()
+				}
+				st.sliders[m].Append(v, ok)
+			}
+		}
+	}
+	st.gen++
 	st.samples = append(st.samples, batch...)
 	if over := len(st.samples) - srv.cfg.WindowCap; over > 0 {
 		// Copy down rather than re-slice so evicted ticks do not pin the
@@ -106,4 +139,64 @@ func (st *stream) windowLen() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return len(st.samples)
+}
+
+// streamFP fingerprints a stream window by identity and generation (FNV-1a
+// over workload, node and gen). Contexts are unique per stream and gen
+// changes on every applied batch, so the fingerprint identifies the window
+// content without hashing the samples.
+func streamFP(ctx core.Context, gen uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(ctx.Workload); i++ {
+		h ^= uint64(ctx.Workload[i])
+		h *= prime64
+	}
+	h ^= 0xff // separator, as in the profile registry hash
+	h *= prime64
+	for i := 0; i < len(ctx.IP); i++ {
+		h ^= uint64(ctx.IP[i])
+		h *= prime64
+	}
+	for s := 0; s < 64; s += 8 {
+		h ^= (gen >> s) & 0xff
+		h *= prime64
+	}
+	return h
+}
+
+// windowHint builds the sparse-path reuse hint for diagnosing the stream's
+// current window: the generation fingerprint, plus (when sliders are on) a
+// lazy scorer over the incrementally maintained per-metric preparations.
+// Diagnosis tasks are serialised with apply on the stream's queue, so the
+// sliders cannot advance while the hint is alive.
+func (st *stream) windowHint() *core.WindowHint {
+	st.mu.Lock()
+	gen := st.gen
+	sliders := st.sliders
+	st.mu.Unlock()
+	hint := &core.WindowHint{FP: streamFP(st.ctx, gen), HasFP: true}
+	if sliders != nil {
+		hint.Scorer = func() invariant.PairScorer {
+			preps := make([]*mic.Prepared, len(sliders))
+			for i, sl := range sliders {
+				// Degenerate metrics (masked ticks, too few samples) stay
+				// nil and score 0, exactly as a fresh NewBatch would treat
+				// them; pairs they could mislead never consult the scorer
+				// (partial overlap routes through the per-pair assoc).
+				if p, err := sl.Prepared(); err == nil {
+					preps[i] = p
+				}
+			}
+			b, err := mic.NewBatchPrepared(preps)
+			if err != nil {
+				return nil // fall back to the configured batch path
+			}
+			return b
+		}
+	}
+	return hint
 }

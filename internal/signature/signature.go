@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Tuple is a binary violation tuple. Its coordinate system is the sorted
@@ -127,7 +128,15 @@ func MaskedSimilarity(a, b Tuple, known []bool, m Measure) (float64, error) {
 			onesB++
 		}
 	}
-	if known != nil && compared == 0 {
+	return similarityFromCounts(both, either, equal, onesA, onesB, compared, known != nil, m)
+}
+
+// similarityFromCounts turns the comparison tallies into the final score.
+// Both the boolean walk above and the packed popcount path (bitset.go)
+// produce identical integer tallies and funnel through here, so the two
+// paths return bit-identical floats.
+func similarityFromCounts(both, either, equal, onesA, onesB, compared int, masked bool, m Measure) (float64, error) {
+	if masked && compared == 0 {
 		return 0, nil
 	}
 	switch m {
@@ -148,11 +157,14 @@ func MaskedSimilarity(a, b Tuple, known []bool, m Measure) (float64, error) {
 			}
 			return 0, nil
 		}
-		return float64(both) / math.Sqrt(float64(onesA)*float64(onesB)), nil
+		return float64(both) / sqrtProd(onesA, onesB), nil
 	default:
 		return 0, fmt.Errorf("signature: unknown measure %v", m)
 	}
 }
+
+// sqrtProd returns sqrt(a*b) for the cosine denominator.
+func sqrtProd(a, b int) float64 { return math.Sqrt(float64(a) * float64(b)) }
 
 // Entry is one stored signature: the paper's four-tuple.
 type Entry struct {
@@ -171,9 +183,22 @@ type Match struct {
 // DB is the signature database. The zero value is ready to use.
 type DB struct {
 	entries []Entry
+	packs   []packed // bitset form of each entry's tuple, parallel to entries
 	// MinScore is the minimum similarity for a match to be reported
 	// (default 0: report everything, ranked).
 	MinScore float64
+
+	// Scan telemetry: entries considered by best-match scans, and how many
+	// resolved without the per-word similarity loop (precomputed-popcount
+	// fast paths, stale-length skips, MinScore bound pruning).
+	scanEntries    atomic.Int64
+	scanEarlyExits atomic.Int64
+}
+
+// ScanStats returns the cumulative best-match scan counters: entries
+// considered and entries resolved by an early exit. Safe for concurrent use.
+func (db *DB) ScanStats() (entries, earlyExits int64) {
+	return db.scanEntries.Load(), db.scanEarlyExits.Load()
 }
 
 // ErrEmpty is returned when matching against an empty database scope.
@@ -188,6 +213,7 @@ func (db *DB) Add(e Entry) {
 		IP:       e.IP,
 		Workload: e.Workload,
 	})
+	db.packs = append(db.packs, pack(e.Tuple))
 }
 
 // Len returns the number of stored signatures.
@@ -222,10 +248,28 @@ func (db *DB) Match(tuple Tuple, ip, workloadType string, measure Measure, topK 
 // MatchMasked is Match under a degraded telemetry window: similarity is
 // computed only over the coordinates whose invariants were checkable
 // (known[i] true). A nil mask compares every coordinate.
+//
+// The scan runs over the packed tuples: the query is packed once, each
+// entry costs a handful of popcount words, and entries whose score is
+// already determined by the precomputed population counts — an all-zero
+// unmasked query (the healthy-window common case), or an upper bound
+// provably below MinScore — skip even that. Scores are bit-identical to
+// MaskedSimilarity's.
 func (db *DB) MatchMasked(tuple Tuple, known []bool, ip, workloadType string, measure Measure, topK int) ([]Match, error) {
+	q := pack(tuple)
+	var knownWords []uint64
+	if known != nil {
+		knownWords = packWords(known)
+	}
+	n := len(tuple)
 	var out []Match
 	scoped := 0
-	for _, e := range db.entries {
+	var scanned, early int64
+	defer func() {
+		db.scanEntries.Add(scanned)
+		db.scanEarlyExits.Add(early)
+	}()
+	for idx, e := range db.entries {
 		if ip != "" && e.IP != ip {
 			continue
 		}
@@ -233,14 +277,40 @@ func (db *DB) MatchMasked(tuple Tuple, known []bool, ip, workloadType string, me
 			continue
 		}
 		scoped++
-		if len(e.Tuple) != len(tuple) {
+		scanned++
+		if len(e.Tuple) != n {
 			// A stale signature from an older invariant set; skip rather
 			// than fail the whole diagnosis.
+			early++
 			continue
 		}
-		s, err := MaskedSimilarity(tuple, e.Tuple, known, measure)
-		if err != nil {
-			return nil, err
+		if known != nil && len(known) != n {
+			return nil, fmt.Errorf("signature: mask length %d for tuples of length %d", len(known), n)
+		}
+		ep := db.packs[idx]
+		var s float64
+		resolved := false
+		if knownWords == nil {
+			if q.ones == 0 {
+				if v, ok := zeroQueryScore(ep.ones, n, measure); ok {
+					s, resolved = v, true
+					early++
+				}
+			}
+			if !resolved && db.MinScore > 0 {
+				if ub, ok := scoreUpperBound(q.ones, ep.ones, n, measure); ok && ub < db.MinScore {
+					early++
+					continue // provably below threshold; the exact score cannot be reported
+				}
+			}
+		}
+		if !resolved {
+			both, either, equal, onesA, onesB, compared := bitCounts(q, ep, knownWords, n)
+			v, err := similarityFromCounts(both, either, equal, onesA, onesB, compared, knownWords != nil, measure)
+			if err != nil {
+				return nil, err
+			}
+			s = v
 		}
 		if s < db.MinScore {
 			continue
@@ -320,5 +390,9 @@ func (db *DB) Prune(measure Measure, threshold float64) (removed int, err error)
 		kept = append(kept, e)
 	}
 	db.entries = kept
+	db.packs = db.packs[:0]
+	for _, e := range kept {
+		db.packs = append(db.packs, pack(e.Tuple))
+	}
 	return removed, nil
 }
