@@ -45,6 +45,8 @@ func main() {
 		err = cmdAudit(os.Args[2:])
 	case "profiles":
 		err = cmdProfiles(os.Args[2:])
+	case "lifecycle":
+		err = cmdLifecycle(os.Args[2:])
 	case "faults":
 		err = cmdFaults()
 	case "-h", "--help", "help":
@@ -70,6 +72,7 @@ commands:
   diagnose    inject a fault, detect it online and infer the root cause
   audit       report signature conflicts and per-problem separability
   profiles    list per-context profiles with model/invariant/signature stats
+  lifecycle   show per-profile drift-lifecycle state (generation, quarantine, shadow)
   faults      list the injectable faults`)
 }
 
@@ -390,6 +393,53 @@ func cmdProfiles(args []string) error {
 		fmt.Printf("  %-28s model %-5s  %3d invariants  %3d signatures  %2d monitors  cache %d/%d (%d entries)\n",
 			st.Context, model, st.Invariants, st.Signatures, st.Monitors,
 			st.Cache.Hits, st.Cache.Misses, st.Cache.Entries)
+	}
+	return nil
+}
+
+// cmdLifecycle lists the drift-lifecycle state persisted next to each
+// profile's invariants: live generation, edge health, quarantined edges and
+// shadow-candidate progress, plus the promotion/rollback history.
+func cmdLifecycle(args []string) error {
+	fs := flag.NewFlagSet("lifecycle", flag.ExitOnError)
+	_, _, models := common(fs)
+	edges := fs.Bool("edges", false, "also list per-edge health series")
+	fs.Parse(args)
+	r := runner(1)
+	cfg := r.Options().Config
+	cfg.Lifecycle.Enabled = true // the store's lifecycle files are inert otherwise
+	sys := core.New(cfg)
+	if err := loadModels(sys, *models); err != nil {
+		return fmt.Errorf("loading models: %w", err)
+	}
+	profiles := sys.Profiles()
+	sort.Slice(profiles, func(a, b int) bool {
+		ca, cb := profiles[a].Context(), profiles[b].Context()
+		if ca.Workload != cb.Workload {
+			return ca.Workload < cb.Workload
+		}
+		return ca.IP < cb.IP
+	})
+	shown := 0
+	for _, p := range profiles {
+		st := p.LifecycleStats()
+		if st.Edges == 0 {
+			continue
+		}
+		shown++
+		fmt.Printf("%-28s gen %-3d  %3d edges (%d quarantined)  shadow age %-3d  observed %-6d  promoted %d / rolled back %d\n",
+			p.Context(), st.Generation, st.Edges, st.Quarantined, st.ShadowAge,
+			st.Observed, st.Promotions, st.Rollbacks)
+		if !*edges {
+			continue
+		}
+		for _, e := range p.LifecycleEdges() {
+			fmt.Printf("    m%d-m%d  %-11s  %d/%d violations  rate %.3f\n",
+				e.Pair.I, e.Pair.J, e.State, e.Viol, e.Obs, e.Rate)
+		}
+	}
+	if shown == 0 {
+		fmt.Println("no lifecycle state in store (train and serve with the lifecycle enabled first)")
 	}
 	return nil
 }

@@ -47,11 +47,29 @@ func main() {
 	queueCap := fs.Int("queue", server.DefaultQueueCap, "per-profile task queue bound")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	reports := fs.Int("reports", server.DefaultReportCap, "retained diagnosis reports")
-	drainSecs := fs.Int("drain", 30, "shutdown drain budget (seconds)")
+	drainSecs := fs.Int("drain", 30, "shutdown drain budget in seconds (deprecated: use -drain-timeout)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on graceful shutdown: queue drain, worker join and persistence start within this budget even if a worker is wedged")
+	lifecycle := fs.Bool("lifecycle", false, "enable the drift-aware invariant lifecycle (edge health, quarantine, shadow-generation promotion)")
 	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on this address (e.g. 127.0.0.1:6060); empty = off")
 	smoke := fs.Bool("smoke", false, "run the self-test against a live socket and exit")
 	smokeSecs := fs.Float64("smoke-seconds", 3, "load duration in -smoke mode")
 	fs.Parse(os.Args[1:])
+
+	// -drain-timeout supersedes the old seconds-valued -drain; the legacy
+	// flag still works when it is the only one given.
+	budget := *drainTimeout
+	var drainSet, drainTimeoutSet bool
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "drain":
+			drainSet = true
+		case "drain-timeout":
+			drainTimeoutSet = true
+		}
+	})
+	if drainSet && !drainTimeoutSet {
+		budget = time.Duration(*drainSecs) * time.Second
+	}
 
 	cfg := server.Config{
 		Core:      core.DefaultConfig(),
@@ -61,6 +79,7 @@ func main() {
 		WindowCap: *window,
 		ReportCap: *reports,
 	}
+	cfg.Core.Lifecycle.Enabled = *lifecycle
 
 	if *smoke {
 		if err := runSmoke(cfg, *smokeSecs); err != nil {
@@ -82,7 +101,7 @@ func main() {
 		}()
 	}
 
-	if err := serve(cfg, *addr, time.Duration(*drainSecs)*time.Second); err != nil {
+	if err := serve(cfg, *addr, budget); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,589 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"invarnetx/internal/invariant"
+	"invarnetx/internal/metrics"
+)
+
+// The lifecycle tests drive the drift state machine with a deterministic
+// association measure: the score of a pair is the average of the two
+// metrics' first samples, so a window *is* its scores and every phase of
+// the lifecycle (drift, quarantine, shadow convergence, promotion) can be
+// produced on demand with exact timing.
+
+func valueAssoc(x, y []float64) float64 { return (x[0] + y[0]) / 2 }
+
+// valueTrace builds a window whose pair scores are fixed by vals; tweak
+// perturbs the last sample of metric 0 only, so windows with different
+// tweaks have different fingerprints but identical scores.
+func valueTrace(vals []float64, n int, tweak float64) *metrics.Trace {
+	rows := make([][]float64, len(vals))
+	for i, v := range vals {
+		rows[i] = make([]float64, n)
+		for t := range rows[i] {
+			rows[i][t] = v
+		}
+	}
+	rows[0][n-1] += tweak
+	return &metrics.Trace{Rows: rows, Ticks: n}
+}
+
+// fastLifecycle is a lifecycle tuned so each phase takes a handful of
+// windows: quarantine after 4 persistent violations, promotion after 4
+// side-by-side evaluations.
+func fastLifecycle() LifecycleConfig {
+	return LifecycleConfig{
+		Enabled:         true,
+		MinObservations: 4,
+		Drift:           0.2,
+		Threshold:       1,
+		DecayAlpha:      0.5,
+		ShadowMinEvals:  4,
+		ShadowMaxEvals:  16,
+		PromoteMaxRate:  0.3,
+	}
+}
+
+func lifecycleConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Assoc = valueAssoc
+	cfg.AssocName = "value"
+	cfg.BatchAssoc = nil
+	cfg.Lifecycle = fastLifecycle()
+	return cfg
+}
+
+// trainValueSystem trains a 3-metric system where every pair scores 0.8:
+// all three pairs become invariants with base 0.8.
+func trainValueSystem(t *testing.T, cfg Config, ctx Context) *System {
+	t.Helper()
+	sys := New(cfg)
+	run := valueTrace([]float64{0.8, 0.8, 0.8}, 16, 0)
+	if err := sys.TrainInvariants(ctx, []*metrics.Trace{run}); err != nil {
+		t.Fatalf("TrainInvariants: %v", err)
+	}
+	set, err := sys.Profile(ctx).Invariants()
+	if err != nil {
+		t.Fatalf("Invariants: %v", err)
+	}
+	if set.Len() != 3 {
+		t.Fatalf("trained %d invariants, want 3", set.Len())
+	}
+	return sys
+}
+
+func pairNames(prs []invariant.Pair) []string {
+	out := make([]string, len(prs))
+	for i, pr := range prs {
+		out[i] = pairName(pr)
+	}
+	return out
+}
+
+// TestLifecycleQuarantineAndPromotion walks the full state machine: a
+// persistent shift on metric 2 first produces false positives, then
+// quarantines the two drifted edges (which must vanish from Violated and
+// surface as unknown), then the shadow generation re-estimated from the
+// post-shift scores is promoted and the false positives clear — precision
+// restored without retraining.
+func TestLifecycleQuarantineAndPromotion(t *testing.T) {
+	ctx := Context{Workload: "wl", IP: "10.0.0.1"}
+	cfg := lifecycleConfig(t)
+	cfg.AssocCacheSize = -1 // every window recomputed: exact phase timing
+	sys := trainValueSystem(t, cfg, ctx)
+	p := sys.Profile(ctx)
+
+	if g := p.Generation(); g != 1 {
+		t.Fatalf("generation after training = %d, want 1", g)
+	}
+
+	// Clean traffic: no violations, nothing drifts.
+	for i := 0; i < 6; i++ {
+		rep, err := p.Violations(valueTrace([]float64{0.8, 0.8, 0.8}, 16, float64(i)*1e-6))
+		if err != nil {
+			t.Fatalf("clean window %d: %v", i, err)
+		}
+		if len(rep.Violated) != 0 {
+			t.Fatalf("clean window %d violated %v", i, rep.Violated)
+		}
+	}
+	if st := p.LifecycleStats(); st.Quarantined != 0 || st.Promotions != 0 {
+		t.Fatalf("clean traffic moved lifecycle state: %+v", st)
+	}
+
+	// Metric 2 shifts for good: pairs (0,2) and (1,2) now score 0.5 against
+	// base 0.8. The first windows are false positives; the clean warmup
+	// already satisfied MinObservations, so the change-point alarm is the
+	// binding constraint — two windows of 0.8 excess cross threshold 1.
+	drifted := []float64{0.8, 0.8, 0.2}
+	quarantinedAt := -1
+	promotedAt := -1
+	for i := 0; i < 12 && promotedAt < 0; i++ {
+		rep, err := p.Violations(valueTrace(drifted, 16, float64(i)*1e-6))
+		if err != nil {
+			t.Fatalf("drifted window %d: %v", i, err)
+		}
+		st := p.LifecycleStats()
+		switch {
+		case st.Promotions > 0:
+			promotedAt = i
+		case st.Quarantined > 0 && quarantinedAt < 0:
+			quarantinedAt = i
+			if st.Quarantined != 2 {
+				t.Fatalf("window %d: quarantined %d edges, want 2", i, st.Quarantined)
+			}
+		}
+		if quarantinedAt >= 0 {
+			// Zero spurious reports from quarantined edges: they are unknown,
+			// never violated.
+			if len(rep.Violated) != 0 {
+				t.Fatalf("window %d: quarantined edges still violated: %v", i, rep.Violated)
+			}
+			if rep.Known == nil {
+				t.Fatalf("window %d: quarantined edges not surfaced as unknown", i)
+			}
+			unknown := 0
+			for _, ok := range rep.Known {
+				if !ok {
+					unknown++
+				}
+			}
+			if st.Quarantined > 0 && unknown != st.Quarantined {
+				t.Fatalf("window %d: %d unknown coordinates, %d quarantined", i, unknown, st.Quarantined)
+			}
+		} else if len(rep.Violated) != 2 {
+			// Pre-quarantine the drifted pairs are live false positives.
+			t.Fatalf("window %d: %d violations before quarantine, want 2 (%v)", i, len(rep.Violated), rep.Violated)
+		}
+	}
+	if quarantinedAt != 1 {
+		t.Fatalf("quarantined at window %d, want 1 (second alarm-accumulating window)", quarantinedAt)
+	}
+	if promotedAt < 0 {
+		t.Fatalf("shadow generation never promoted")
+	}
+
+	st := p.LifecycleStats()
+	if st.Promotions != 1 || st.Quarantined != 0 || st.Generation != 2 {
+		t.Fatalf("post-promotion stats %+v, want 1 promotion, 0 quarantined, generation 2", st)
+	}
+
+	// The promoted generation holds on post-shift traffic: full coverage,
+	// no violations — and the Diagnose surface agrees.
+	diag, err := p.Diagnose(valueTrace(drifted, 16, 99))
+	if err != nil {
+		t.Fatalf("post-promotion diagnose: %v", err)
+	}
+	if len(diag.Hints) != 0 || len(diag.Unknown) != 0 || diag.Coverage != 1 {
+		t.Fatalf("post-promotion diagnosis = hints %v unknown %v coverage %v, want clean", diag.Hints, diag.Unknown, diag.Coverage)
+	}
+
+	// And a genuine fault against the *new* baselines is still caught.
+	rep, err := p.Violations(valueTrace([]float64{0.8, 0.8, 0.9}, 16, 100))
+	if err != nil {
+		t.Fatalf("fault window: %v", err)
+	}
+	if len(rep.Violated) != 2 {
+		t.Fatalf("fault against promoted baselines: violated %v, want the two re-estimated pairs", pairNames(rep.Violated))
+	}
+}
+
+// TestLifecycleFaultBurstDoesNotQuarantine distinguishes the two kinds of
+// violation the health series must separate: a short fault burst drains
+// back out of the change-point accumulator, while only a persistent shift
+// quarantines.
+func TestLifecycleFaultBurstDoesNotQuarantine(t *testing.T) {
+	ctx := Context{Workload: "wl", IP: "10.0.0.1"}
+	cfg := lifecycleConfig(t)
+	cfg.AssocCacheSize = -1
+	cfg.Lifecycle.Drift = 0.4 // tolerate bursty faults
+	cfg.Lifecycle.Threshold = 2
+	sys := trainValueSystem(t, cfg, ctx)
+	p := sys.Profile(ctx)
+
+	clean := []float64{0.8, 0.8, 0.8}
+	fault := []float64{0.8, 0.8, 0.2}
+	w := 0
+	window := func(vals []float64) *ViolationReport {
+		t.Helper()
+		rep, err := p.Violations(valueTrace(vals, 16, float64(w)*1e-6))
+		w++
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		return rep
+	}
+	for burst := 0; burst < 5; burst++ {
+		for i := 0; i < 2; i++ {
+			rep := window(fault)
+			if len(rep.Violated) != 2 {
+				t.Fatalf("burst fault window reported %v, want 2 violations", rep.Violated)
+			}
+		}
+		for i := 0; i < 6; i++ {
+			window(clean)
+		}
+	}
+	if st := p.LifecycleStats(); st.Quarantined != 0 || st.Promotions != 0 {
+		t.Fatalf("fault bursts quarantined edges: %+v", st)
+	}
+}
+
+// TestLifecycleCacheEpochInvalidation pins the report-cache interaction: a
+// report cached before a quarantine carries the old verdict surface, and
+// the epoch salt must prevent it from ever being served again.
+func TestLifecycleCacheEpochInvalidation(t *testing.T) {
+	ctx := Context{Workload: "wl", IP: "10.0.0.1"}
+	cfg := lifecycleConfig(t) // report cache enabled (default size)
+	sys := trainValueSystem(t, cfg, ctx)
+	p := sys.Profile(ctx)
+
+	drifted := []float64{0.8, 0.8, 0.2}
+	first := valueTrace(drifted, 16, 0)
+	rep, err := p.Violations(first)
+	if err != nil {
+		t.Fatalf("first drifted window: %v", err)
+	}
+	if len(rep.Violated) != 2 {
+		t.Fatalf("first drifted window violated %v, want 2 pairs", rep.Violated)
+	}
+
+	// Identical window re-diagnosed: served from cache (no new observation
+	// — an identical window adds no drift information).
+	before := p.LifecycleStats().Observed
+	rep2, err := p.Violations(valueTrace(drifted, 16, 0))
+	if err != nil {
+		t.Fatalf("repeat window: %v", err)
+	}
+	if rep2 != rep {
+		t.Fatalf("identical pre-quarantine window not served from cache")
+	}
+	if after := p.LifecycleStats().Observed; after != before {
+		t.Fatalf("cache hit advanced health observation %d -> %d", before, after)
+	}
+
+	// Distinct windows until the drifted edges quarantine.
+	for i := 1; p.LifecycleStats().Quarantined == 0; i++ {
+		if i > 10 {
+			t.Fatalf("edges never quarantined")
+		}
+		if _, err := p.Violations(valueTrace(drifted, 16, float64(i)*1e-6)); err != nil {
+			t.Fatalf("drifted window %d: %v", i, err)
+		}
+	}
+
+	// The first window again, bit-identical content: its cached report says
+	// "two violations", but the quarantine bumped the epoch, so the stale
+	// verdict must not come back — the recomputed one masks both edges.
+	rep3, err := p.Violations(valueTrace(drifted, 16, 0))
+	if err != nil {
+		t.Fatalf("post-quarantine repeat: %v", err)
+	}
+	if rep3 == rep {
+		t.Fatalf("stale pre-quarantine report served after epoch bump")
+	}
+	if len(rep3.Violated) != 0 {
+		t.Fatalf("post-quarantine repeat violated %v, want quarantined edges masked", rep3.Violated)
+	}
+	if rep3.Known == nil || rep3.Coverage >= 1 {
+		t.Fatalf("post-quarantine repeat did not surface unknowns (coverage %v)", rep3.Coverage)
+	}
+}
+
+// TestLifecyclePersistRoundTrip saves a profile mid-quarantine and restores
+// it into a fresh system: the health and shadow state must come back
+// exactly, and the restored shadow must finish converging to a promotion
+// just as the original would have.
+func TestLifecyclePersistRoundTrip(t *testing.T) {
+	ctx := Context{Workload: "wl", IP: "10.0.0.1"}
+	cfg := lifecycleConfig(t)
+	cfg.AssocCacheSize = -1
+	sys := trainValueSystem(t, cfg, ctx)
+	p := sys.Profile(ctx)
+
+	drifted := []float64{0.8, 0.8, 0.2}
+	for i := 0; i < 8; i++ {
+		if _, err := p.Violations(valueTrace(drifted, 16, float64(i)*1e-6)); err != nil {
+			t.Fatalf("drifted window %d: %v", i, err)
+		}
+	}
+	want := p.LifecycleStats()
+	if want.Quarantined != 2 || want.Promotions != 0 || want.ShadowAge == 0 {
+		t.Fatalf("mid-quarantine stats %+v, want 2 quarantined with shadow progress", want)
+	}
+
+	dir := t.TempDir()
+	if err := sys.SaveTo(dir); err != nil {
+		t.Fatalf("SaveTo: %v", err)
+	}
+
+	sys2 := New(cfg)
+	rep, err := sys2.LoadFrom(dir)
+	if err != nil {
+		t.Fatalf("LoadFrom: %v", err)
+	}
+	if rep.Lifecycles != 1 || rep.Partial() {
+		t.Fatalf("load report %v, want 1 lifecycle state and no skips", rep)
+	}
+	p2 := sys2.Profile(ctx)
+	got := p2.LifecycleStats()
+	if got.Generation != want.Generation || got.Quarantined != want.Quarantined ||
+		got.Observed != want.Observed || got.ShadowAge != want.ShadowAge {
+		t.Fatalf("restored stats %+v, want %+v", got, want)
+	}
+	for _, e := range p2.LifecycleEdges() {
+		wantState := invariant.EdgeLive
+		if e.Pair.J == 2 {
+			wantState = invariant.EdgeQuarantined
+		}
+		if e.State != wantState {
+			t.Fatalf("restored edge %v state %v, want %v", e.Pair, e.State, wantState)
+		}
+	}
+
+	// The restored shadow picks up where the original left off: a few more
+	// post-shift windows complete the promotion.
+	for i := 8; i < 16 && p2.LifecycleStats().Promotions == 0; i++ {
+		if _, err := p2.Violations(valueTrace(drifted, 16, float64(i)*1e-6)); err != nil {
+			t.Fatalf("post-restore window %d: %v", i, err)
+		}
+	}
+	st := p2.LifecycleStats()
+	if st.Promotions != 1 || st.Generation != want.Generation+1 || st.Quarantined != 0 {
+		t.Fatalf("restored shadow did not promote: %+v", st)
+	}
+}
+
+// copyStoreFiles copies every store file with the given prefix from src
+// into dst.
+func copyStoreFiles(t *testing.T, src, dst, prefix string) int {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("ReadDir(%s): %v", src, err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), prefix) {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatalf("read %s: %v", e.Name(), err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatalf("write %s: %v", e.Name(), err)
+		}
+		n++
+	}
+	return n
+}
+
+// TestLifecycleCrashMidPromotionRestoresConsistentGeneration simulates a
+// process dying between the invariants write and the lifecycle write of a
+// promotion-era save: the store then holds the promoted invariants next to
+// the pre-promotion lifecycle file. The fingerprint binding must detect the
+// mismatch and restore the promoted set with fresh edge state — one
+// consistent generation, never the stale quarantine map applied to the new
+// baselines.
+func TestLifecycleCrashMidPromotionRestoresConsistentGeneration(t *testing.T) {
+	ctx := Context{Workload: "wl", IP: "10.0.0.1"}
+	cfg := lifecycleConfig(t)
+	cfg.AssocCacheSize = -1
+	sys := trainValueSystem(t, cfg, ctx)
+	p := sys.Profile(ctx)
+
+	drifted := []float64{0.8, 0.8, 0.2}
+	i := 0
+	feed := func() {
+		t.Helper()
+		if _, err := p.Violations(valueTrace(drifted, 16, float64(i)*1e-6)); err != nil {
+			t.Fatalf("drifted window %d: %v", i, err)
+		}
+		i++
+	}
+	for i < 8 {
+		feed()
+	}
+	if st := p.LifecycleStats(); st.Quarantined != 2 || st.Promotions != 0 {
+		t.Fatalf("pre-promotion stats %+v", st)
+	}
+	dirPre := t.TempDir()
+	if err := sys.SaveTo(dirPre); err != nil {
+		t.Fatalf("SaveTo(pre): %v", err)
+	}
+
+	for p.LifecycleStats().Promotions == 0 {
+		if i > 20 {
+			t.Fatalf("never promoted")
+		}
+		feed()
+	}
+	dirPost := t.TempDir()
+	if err := sys.SaveTo(dirPost); err != nil {
+		t.Fatalf("SaveTo(post): %v", err)
+	}
+
+	// The crash store: post-promotion invariants, pre-promotion lifecycle —
+	// exactly what a kill between SaveTo's two writes leaves behind (the
+	// previous save's lifecycle file still in place).
+	dirCrash := t.TempDir()
+	if n := copyStoreFiles(t, dirPost, dirCrash, "invariants-"); n != 1 {
+		t.Fatalf("copied %d invariants files", n)
+	}
+	if n := copyStoreFiles(t, dirPre, dirCrash, "lifecycle-"); n != 1 {
+		t.Fatalf("copied %d lifecycle files", n)
+	}
+
+	sys2 := New(cfg)
+	rep, err := sys2.LoadFrom(dirCrash)
+	if err != nil {
+		t.Fatalf("LoadFrom: %v", err)
+	}
+	if rep.Invariants != 1 || rep.Lifecycles != 1 || rep.Partial() {
+		t.Fatalf("load report %v, want invariants and lifecycle both recovered", rep)
+	}
+	p2 := sys2.Profile(ctx)
+	st := p2.LifecycleStats()
+	// Counters restore from the (stale) lifecycle file; edge state must be
+	// fresh — the stale quarantine map has no business against the promoted
+	// baselines.
+	if st.Quarantined != 0 || st.ShadowAge != 0 {
+		t.Fatalf("stale edge state survived the fingerprint mismatch: %+v", st)
+	}
+	for _, e := range p2.LifecycleEdges() {
+		if e.State != invariant.EdgeLive || e.Obs != 0 {
+			t.Fatalf("edge %v not fresh after crash restore: %+v", e.Pair, e)
+		}
+	}
+
+	// Verdicts follow the loaded (promoted) generation: post-shift traffic
+	// is clean, pre-shift values now violate the re-estimated pairs.
+	repD, err := p2.Violations(valueTrace(drifted, 16, 0.5))
+	if err != nil {
+		t.Fatalf("post-restore drifted window: %v", err)
+	}
+	if len(repD.Violated) != 0 || repD.Coverage != 1 {
+		t.Fatalf("promoted generation did not restore: violated %v coverage %v", repD.Violated, repD.Coverage)
+	}
+	repO, err := p2.Violations(valueTrace([]float64{0.8, 0.8, 0.8}, 16, 0.5))
+	if err != nil {
+		t.Fatalf("post-restore old-level window: %v", err)
+	}
+	if len(repO.Violated) != 2 {
+		t.Fatalf("old-level window violated %v against promoted baselines, want the 2 re-estimated pairs", pairNames(repO.Violated))
+	}
+}
+
+// TestLifecycleDensePathQuarantines runs the same quarantine flow down the
+// dense reference pipeline (ExactDiagnosis): the lifecycle must behave
+// identically there.
+func TestLifecycleDensePathQuarantines(t *testing.T) {
+	ctx := Context{Workload: "wl", IP: "10.0.0.1"}
+	cfg := lifecycleConfig(t)
+	cfg.ExactDiagnosis = true
+	cfg.AssocCacheSize = -1
+	sys := trainValueSystem(t, cfg, ctx)
+	p := sys.Profile(ctx)
+
+	drifted := []float64{0.8, 0.8, 0.2}
+	for i := 0; i < 12 && p.LifecycleStats().Promotions == 0; i++ {
+		rep, err := p.Violations(valueTrace(drifted, 16, float64(i)*1e-6))
+		if err != nil {
+			t.Fatalf("drifted window %d: %v", i, err)
+		}
+		if p.LifecycleStats().Quarantined > 0 && len(rep.Violated) != 0 {
+			t.Fatalf("dense path reported quarantined edges as violated: %v", rep.Violated)
+		}
+	}
+	st := p.LifecycleStats()
+	if st.Promotions != 1 || st.Generation != 2 {
+		t.Fatalf("dense path lifecycle stats %+v, want a promotion", st)
+	}
+}
+
+// TestPromotionDiagnoseRaceConsistency is the generation-consistency race
+// test: diagnoses run concurrently with generation swaps (retrains of
+// different sizes plus lifecycle promotions), and every diagnosis must be
+// internally consistent with exactly one generation — tuple, known mask
+// and unknown names all from the same set, never a mix. Run with -race.
+func TestPromotionDiagnoseRaceConsistency(t *testing.T) {
+	ctx := Context{Workload: "wl", IP: "10.0.0.1"}
+	cfg := lifecycleConfig(t)
+	sys := trainValueSystem(t, cfg, ctx)
+	p := sys.Profile(ctx)
+
+	// Two live generations of different sizes: swapping between them
+	// mid-diagnosis is how a mixed verdict would show (index mismatch
+	// between tuple and pair list).
+	setA := invariant.NewSet(3, map[invariant.Pair]float64{
+		{I: 0, J: 1}: 0.8, {I: 0, J: 2}: 0.8, {I: 1, J: 2}: 0.8,
+	})
+	setB := invariant.NewSet(3, map[invariant.Pair]float64{
+		{I: 0, J: 2}: 0.5, {I: 1, J: 2}: 0.5,
+	})
+
+	stop := make(chan struct{})
+	var swapWg sync.WaitGroup
+	swapWg.Add(1)
+	go func() {
+		defer swapWg.Done()
+		for k := 0; ; k++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if k%2 == 0 {
+				p.setInvariants(setA)
+			} else {
+				p.setInvariants(setB)
+			}
+		}
+	}()
+
+	drifted := []float64{0.8, 0.8, 0.2}
+	errs := make(chan error, 8)
+	var diagWg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		diagWg.Add(1)
+		go func(g int) {
+			defer diagWg.Done()
+			for i := 0; i < 300; i++ {
+				diag, err := p.Diagnose(valueTrace(drifted, 16, float64(g*1000+i)*1e-6))
+				if err != nil {
+					errs <- err
+					return
+				}
+				n := len(diag.Tuple)
+				if n != setA.Len() && n != setB.Len() {
+					t.Errorf("tuple length %d matches no generation", n)
+					return
+				}
+				if diag.Known != nil && len(diag.Known) != n {
+					t.Errorf("known mask length %d over %d-pair tuple: mixed generations", len(diag.Known), n)
+					return
+				}
+				if len(diag.Unknown)+len(diag.Hints) > n {
+					t.Errorf("%d unknown + %d hints over %d pairs: mixed generations", len(diag.Unknown), len(diag.Hints), n)
+					return
+				}
+			}
+		}(g)
+	}
+	diagWg.Wait()
+	close(stop)
+	swapWg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatalf("diagnose under generation swaps: %v", err)
+	default:
+	}
+}

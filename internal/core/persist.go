@@ -18,6 +18,7 @@ import (
 //	<dir>/model-<workload>-<ip>.xml
 //	<dir>/invariants-<workload>-<ip>.xml
 //	<dir>/signatures-<workload>-<ip>.xml
+//	<dir>/lifecycle-<workload>-<ip>.xml   (drift lifecycle, when enabled)
 //
 // Legacy stores with a single combined signatures.xml still load: entries
 // route to profiles by their per-entry context fields either way.
@@ -86,6 +87,10 @@ func signaturePath(dir string, ctx Context) string {
 	return filepath.Join(dir, fmt.Sprintf("signatures-%s-%s.xml", ctxFileToken(ctx.Workload), ctxFileToken(ctx.IP)))
 }
 
+func lifecyclePath(dir string, ctx Context) string {
+	return filepath.Join(dir, fmt.Sprintf("lifecycle-%s-%s.xml", ctxFileToken(ctx.Workload), ctxFileToken(ctx.IP)))
+}
+
 // SaveTo writes the profile's trained model, invariant set and signatures
 // into dir (created if needed). Each file is written atomically (temp +
 // rename), so a crash mid-save leaves the previous complete store in place
@@ -119,6 +124,16 @@ func (p *Profile) SaveTo(dir string) error {
 	if sigFile != nil {
 		if err := xmlstore.SaveFile(signaturePath(dir, p.key), *sigFile); err != nil {
 			return fmt.Errorf("core: saving signatures %v: %w", p.key, err)
+		}
+	}
+	// The lifecycle file is written after the invariants file it describes
+	// (and fingerprints). A crash between the two leaves the pair
+	// inconsistent in at most one direction, which restoreLifecycle detects
+	// and resolves toward the invariants file — always a complete,
+	// consistent generation.
+	if lf, ok := p.lifecycleFile(); ok {
+		if err := xmlstore.SaveFile(lifecyclePath(dir, p.key), lf); err != nil {
+			return fmt.Errorf("core: saving lifecycle %v: %w", p.key, err)
 		}
 	}
 	return nil
@@ -163,6 +178,7 @@ type LoadReport struct {
 	Models     int
 	Invariants int
 	Signatures int
+	Lifecycles int
 	Skipped    []SkippedFile
 }
 
@@ -172,6 +188,9 @@ func (r *LoadReport) Partial() bool { return len(r.Skipped) > 0 }
 func (r *LoadReport) String() string {
 	s := fmt.Sprintf("loaded %d models, %d invariant sets, %d signatures",
 		r.Models, r.Invariants, r.Signatures)
+	if r.Lifecycles > 0 {
+		s += fmt.Sprintf(", %d lifecycle states", r.Lifecycles)
+	}
 	if r.Partial() {
 		names := make([]string, len(r.Skipped))
 		for i, sk := range r.Skipped {
@@ -201,6 +220,14 @@ func (s *System) LoadFrom(dir string) (*LoadReport, error) {
 	skip := func(name string, err error) {
 		rep.Skipped = append(rep.Skipped, SkippedFile{Name: name, Err: err})
 	}
+	// Lifecycle files attach to invariants loaded from the same directory,
+	// so they are collected during the scan and applied in a post-pass —
+	// correctness must not hinge on ReadDir's name ordering.
+	type pendingLifecycle struct {
+		name string
+		f    xmlstore.LifecycleFile
+	}
+	var lifecycles []pendingLifecycle
 	for _, e := range entries {
 		name := e.Name()
 		full := filepath.Join(dir, name)
@@ -231,6 +258,20 @@ func (s *System) LoadFrom(dir string) (*LoadReport, error) {
 			}
 			s.Profile(loadedCtx(f.Type, f.IP)).setInvariants(set)
 			rep.Invariants++
+		case strings.HasPrefix(name, "lifecycle-") && strings.HasSuffix(name, ".xml"):
+			if !s.cfg.Lifecycle.Enabled {
+				continue // train-once deployment: lifecycle state is inert
+			}
+			var f xmlstore.LifecycleFile
+			if err := xmlstore.LoadFile(full, &f); err != nil {
+				skip(name, fmt.Errorf("core: loading %s: %w", name, err))
+				continue
+			}
+			if err := f.Validate(); err != nil {
+				skip(name, fmt.Errorf("core: decoding %s: %w", name, err))
+				continue
+			}
+			lifecycles = append(lifecycles, pendingLifecycle{name: name, f: f})
 		case strings.HasPrefix(name, "signatures") && strings.HasSuffix(name, ".xml"):
 			var f xmlstore.SignatureFile
 			if err := xmlstore.LoadFile(full, &f); err != nil {
@@ -246,6 +287,21 @@ func (s *System) LoadFrom(dir string) (*LoadReport, error) {
 				s.Profile(loadedCtx(entry.Workload, entry.IP)).addSignature(entry)
 				rep.Signatures++
 			}
+		}
+	}
+	for _, pl := range lifecycles {
+		p, ok := s.lookup(loadedCtx(pl.f.Type, pl.f.IP))
+		if !ok {
+			skip(pl.name, fmt.Errorf("core: lifecycle state %s has no loaded profile", pl.name))
+			continue
+		}
+		applied, err := p.restoreLifecycle(&pl.f)
+		if err != nil {
+			skip(pl.name, fmt.Errorf("core: restoring %s: %w", pl.name, err))
+			continue
+		}
+		if applied {
+			rep.Lifecycles++
 		}
 	}
 	return rep, nil

@@ -37,6 +37,10 @@ type Profile struct {
 
 	monitors *detect.Registry
 
+	// lc is the drift-aware invariant lifecycle (nil when disabled): edge
+	// health, quarantine and shadow generations. See lifecycle.go.
+	lc *lifecycle
+
 	// Sparse-path edge telemetry (see SparseStats): how trained pairs were
 	// resolved across every sparse diagnosis of this profile.
 	sparseScreened atomic.Int64
@@ -46,7 +50,7 @@ type Profile struct {
 
 // newProfile builds an empty profile for key under s's configuration.
 func newProfile(s *System, key Context) *Profile {
-	return &Profile{
+	p := &Profile{
 		sys:        s,
 		key:        key,
 		cache:      newAssocCache(s.cfg.AssocCacheSize),
@@ -54,6 +58,10 @@ func newProfile(s *System, key Context) *Profile {
 		windowPool: newTrainingPool[*metrics.Trace](s.cfg.PoolCap),
 		monitors:   detect.NewRegistry(),
 	}
+	if s.cfg.Lifecycle.Enabled {
+		p.lc = newLifecycle(s.cfg.Lifecycle)
+	}
+	return p
 }
 
 // Context returns the profile's operation context (the zero Context for the
@@ -125,6 +133,9 @@ func (p *Profile) trainInvariants(errCtx Context, runs []*metrics.Trace) error {
 	p.mu.Lock()
 	p.invariants = set
 	p.mu.Unlock()
+	if p.lc != nil {
+		p.lc.install(set)
+	}
 	return nil
 }
 
@@ -186,6 +197,13 @@ type ViolationReport struct {
 	// Coverage is the checkable fraction of invariants (1 on a clean
 	// window) — defined here and nowhere else.
 	Coverage float64
+
+	// set is the invariant set the report was computed against. Carrying
+	// it keeps every consumer of the report — Unknown naming, signature
+	// matching — on the *same* model generation even when a concurrent
+	// retrain or shadow promotion swaps the profile's live set
+	// mid-diagnosis.
+	set *invariant.Set
 }
 
 // Violations computes the violation report of an abnormal metric window
@@ -224,23 +242,41 @@ func (p *Profile) violationsDense(set *invariant.Set, abnormal *metrics.Trace) (
 	if err != nil {
 		return nil, err
 	}
-	rep := &ViolationReport{Tuple: signature.Tuple(raw), Coverage: 1}
+	// surface is the known mask the report shows: nil on a clean window
+	// (ViolationsMasked's known is then all-true), possibly materialised by
+	// the lifecycle when quarantined edges must read as unknown.
+	var surface []bool
 	if mask != nil {
-		// Degraded window: surface the known mask (even if everything
-		// happened to survive) and the checkable fraction.
-		rep.Known = known
+		surface = known
+	}
+	if p.lc != nil {
+		pairs := set.SortedPairs()
+		score := func(k int) (float64, bool) {
+			pr := pairs[k]
+			if mask != nil && !mask.OK(pr.I, pr.J) {
+				return 0, false
+			}
+			return mat.Get(pr.I, pr.J), true
+		}
+		raw, surface = p.lifecyclePost(set, raw, surface, score)
+	}
+	rep := &ViolationReport{Tuple: signature.Tuple(raw), Coverage: 1, set: set}
+	if surface != nil {
+		// Degraded window (or quarantined edges): surface the known mask
+		// and the checkable fraction.
+		rep.Known = surface
 		checkable := 0
-		for _, ok := range known {
+		for _, ok := range surface {
 			if ok {
 				checkable++
 			}
 		}
-		if len(known) > 0 {
-			rep.Coverage = float64(checkable) / float64(len(known))
+		if len(surface) > 0 {
+			rep.Coverage = float64(checkable) / float64(len(surface))
 		}
 	}
 	for k, pr := range set.SortedPairs() {
-		if raw[k] && known[k] {
+		if raw[k] && (surface == nil || surface[k]) {
 			rep.Violated = append(rep.Violated, pr)
 		}
 	}
@@ -285,6 +321,9 @@ func (p *Profile) setInvariants(set *invariant.Set) {
 	p.mu.Lock()
 	p.invariants = set
 	p.mu.Unlock()
+	if p.lc != nil {
+		p.lc.install(set)
+	}
 }
 
 // SignatureCount returns the number of stored signatures.
@@ -334,9 +373,14 @@ func (p *Profile) diagnoseHinted(errCtx Context, abnormal *metrics.Trace, hint *
 		diag.Hints = append(diag.Hints, pairName(pr))
 	}
 	if rep.Known != nil {
-		set, err := p.invariantsFor(errCtx)
-		if err != nil {
-			return nil, err
+		// Name unknown pairs against the set the report was computed with,
+		// not a re-read of the live one: a retrain or shadow promotion
+		// mid-diagnosis must not mix two generations in one verdict.
+		set := rep.set
+		if set == nil {
+			if set, err = p.invariantsFor(errCtx); err != nil {
+				return nil, err
+			}
 		}
 		for k, ok := range rep.Known {
 			if !ok {
@@ -394,6 +438,9 @@ type ProfileStats struct {
 	Cache CacheStats
 	// Sparse reports the sparse diagnosis path's edge counters.
 	Sparse SparseStats
+	// Lifecycle reports the drift-lifecycle counters (zero when the
+	// lifecycle is disabled).
+	Lifecycle LifecycleStats
 }
 
 // Stats snapshots the profile for reporting (invarctl profiles).
@@ -413,5 +460,6 @@ func (p *Profile) Stats() ProfileStats {
 	st.Monitors = p.monitors.Len()
 	st.Cache = p.CacheStats()
 	st.Sparse = p.SparseStats()
+	st.Lifecycle = p.LifecycleStats()
 	return st
 }

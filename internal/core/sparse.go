@@ -82,6 +82,14 @@ func checkWindow(rows [][]float64, m int) error {
 func (p *Profile) violationsSparse(set *invariant.Set, tr *metrics.Trace, hint *WindowHint) (*ViolationReport, error) {
 	var fp uint64
 	haveFP := false
+	// The cache key mixes the lifecycle epoch: a quarantine or promotion
+	// bumps it, so reports cached before the verdict surface changed can no
+	// longer be served. The salt is captured once — if this very window
+	// changes the epoch, its report is cached under the old key and simply
+	// never hit again, which is safe in both directions. Cache hits skip
+	// health observation entirely: an identical window re-diagnosed adds no
+	// information to the drift series.
+	salt := reportSalt ^ p.lifecycleSalt()
 	if p.cache != nil {
 		if hint != nil && hint.HasFP {
 			fp = hint.FP
@@ -89,7 +97,7 @@ func (p *Profile) violationsSparse(set *invariant.Set, tr *metrics.Trace, hint *
 			fp = fingerprintWindow(tr.Rows, tr.Valid)
 		}
 		haveFP = true
-		if e, ok := p.cache.get(fp ^ reportSalt); ok && e.rep != nil && e.repSet == set {
+		if e, ok := p.cache.get(fp ^ salt); ok && e.rep != nil && e.repSet == set {
 			return e.rep, nil
 		}
 	}
@@ -125,8 +133,25 @@ func (p *Profile) violationsSparse(set *invariant.Set, tr *metrics.Trace, hint *
 	if err != nil {
 		return nil, err
 	}
-	rep := &ViolationReport{Tuple: signature.Tuple(raw), Coverage: 1}
-	if degraded {
+	if p.lc != nil {
+		// Drift lifecycle: health over the raw verdicts, shadow
+		// re-estimation from exact scores, quarantine masking. Shadow
+		// candidates judge themselves on clean windows only — on the
+		// degraded path no whole-window scorer is valid, so those windows
+		// observe health without re-estimating.
+		var score func(k int) (float64, bool)
+		if !degraded && scorer != nil {
+			pairs := set.SortedPairs()
+			sc := scorer
+			score = func(k int) (float64, bool) {
+				pr := pairs[k]
+				return sc.Score(pr.I, pr.J), true
+			}
+		}
+		raw, known = p.lifecyclePost(set, raw, known, score)
+	}
+	rep := &ViolationReport{Tuple: signature.Tuple(raw), Coverage: 1, set: set}
+	if known != nil {
 		rep.Known = known
 		checkable := 0
 		for _, ok := range known {
@@ -147,7 +172,7 @@ func (p *Profile) violationsSparse(set *invariant.Set, tr *metrics.Trace, hint *
 	p.sparseExact.Add(int64(st.Exact))
 	p.sparseSkipped.Add(int64(st.Skipped))
 	if haveFP {
-		p.cache.put(fp^reportSalt, cacheEntry{rep: rep, repSet: set})
+		p.cache.put(fp^salt, cacheEntry{rep: rep, repSet: set})
 	}
 	return rep, nil
 }

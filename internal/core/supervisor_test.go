@@ -227,3 +227,86 @@ func TestSuperviseMonitorPanicRecovery(t *testing.T) {
 		t.Fatal("SuperviseMonitor accepted an untrained context")
 	}
 }
+
+// TestSuperviseMonitorPermanentCrashGivesUp drives a monitor whose alert
+// handler panics on every alert — the permanently-crashing case. The
+// supervisor must retry exactly MaxRestarts times with growing backoff,
+// then abandon the job and surface the failure through its status instead
+// of hot-looping; the dead monitor must be detached from the registry.
+func TestSuperviseMonitorPermanentCrashGivesUp(t *testing.T) {
+	ctx := Context{Workload: "wordcount", IP: "10.0.0.3"}
+	s := trainSystem(t, DefaultConfig(), ctx, 911)
+	rng := stats.NewRNG(912)
+	normal := synthTrace(rng, traceLen, 8, nil)
+
+	rs := &recordingSleep{}
+	cfg := quietConfig(rs)
+	cfg.MaxRestarts = 3
+	sup := NewSupervisor(cfg)
+	defer sup.Stop()
+
+	samples := make(chan float64)
+	var attempts atomic.Int32
+	onAlert := func(Context) {
+		attempts.Add(1)
+		panic("permanently broken alert sink")
+	}
+	if err := s.SuperviseMonitor(sup, "doomed", ctx, normal.CPI[:10], samples, onAlert); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pump anomalous CPI until the job dies: each rebuilt monitor alerts
+	// again, each alert panics again.
+	stopFeed := make(chan struct{})
+	var feed sync.WaitGroup
+	feed.Add(1)
+	go func() {
+		defer feed.Done()
+		for {
+			select {
+			case samples <- 2.5:
+			case <-stopFeed:
+				return
+			}
+		}
+	}()
+
+	st := waitStatus(t, sup, "doomed", func(st JobStatus) bool { return st.GaveUp })
+	close(stopFeed)
+	feed.Wait()
+
+	if st.Running {
+		t.Fatalf("gave-up job still marked running: %+v", st)
+	}
+	if st.Restarts != cfg.MaxRestarts {
+		t.Fatalf("restarts = %d, want the cap %d", st.Restarts, cfg.MaxRestarts)
+	}
+	if st.LastPanic != "permanently broken alert sink" {
+		t.Fatalf("LastPanic = %q, failure not surfaced via status", st.LastPanic)
+	}
+
+	// Bounded, not hot-looping: one initial attempt plus MaxRestarts
+	// retries, every retry preceded by a backoff sleep, doubling until the
+	// cap. A hot loop would blow straight past both counts.
+	if n := attempts.Load(); n != int32(cfg.MaxRestarts)+1 {
+		t.Fatalf("attempts = %d, want %d (initial + MaxRestarts)", n, cfg.MaxRestarts+1)
+	}
+	delays := rs.snapshot()
+	if len(delays) != cfg.MaxRestarts {
+		t.Fatalf("backoff sleeps = %v, want %d of them", delays, cfg.MaxRestarts)
+	}
+	for i := 1; i < len(delays); i++ {
+		want := delays[i-1] * 2
+		if want > cfg.MaxBackoff && cfg.MaxBackoff > 0 {
+			want = cfg.MaxBackoff
+		}
+		if delays[i] != want {
+			t.Fatalf("backoff %d = %v after %v, want doubling growth", i, delays[i], delays[i-1])
+		}
+	}
+
+	// The crashed monitor must not linger in the profile's registry.
+	if got := s.Profile(ctx).Monitors().Len(); got != 0 {
+		t.Fatalf("registry still holds %d monitors after give-up", got)
+	}
+}

@@ -95,6 +95,11 @@ type Config struct {
 	// an operational escape hatch and as the reference arm of those tests,
 	// not because the answers differ.
 	ExactDiagnosis bool
+	// Lifecycle configures the drift-aware invariant lifecycle (edge
+	// health, quarantine, shadow generations); disabled by default —
+	// train-once behaviour — and enabled explicitly by long-running
+	// deployments (invarnetd). See LifecycleConfig.
+	Lifecycle LifecycleConfig
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -187,7 +192,7 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("core: unknown similarity measure %v", c.Similarity)
 	}
-	return nil
+	return c.Lifecycle.validate()
 }
 
 // New builds a System; zero-valued cfg fields are defaulted. The config is

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"invarnetx/internal/core"
+	"invarnetx/internal/invariant"
+	"invarnetx/internal/metrics"
+	"invarnetx/internal/stats"
+)
+
+// The drift study is the lifecycle's evaluation harness: a synthetic
+// deployment whose metric couplings shift permanently mid-trace —
+// nonstationarity, not a fault — run through two otherwise identical
+// InvarNet-X arms. The train-once arm keeps trusting its original
+// invariants and turns the shift into a permanent stream of false
+// positives; the lifecycle arm quarantines the drifted edges, re-estimates
+// their baselines from post-shift traffic and promotes the shadow
+// generation, restoring pre-drift precision without a retraining pass.
+// Genuine faults (short coupling bursts on a *different* metric) are
+// interleaved throughout, so the study also checks that the change-point
+// separation keeps bursts diagnosable and never quarantines them.
+
+// DriftOptions sizes the drift study. Zero values take the defaults noted
+// per field.
+type DriftOptions struct {
+	// Seed drives the synthetic telemetry (default 1).
+	Seed int64
+	// Metrics is the number of coupled metrics (default 6 — 15 trained
+	// edges).
+	Metrics int
+	// WindowLen is the samples per diagnosis window (default 100).
+	WindowLen int
+	// TrainRuns is the number of clean training windows (default 4).
+	TrainRuns int
+	// PreWindows, ShiftWindows and PostWindows are the phase lengths in
+	// diagnosis windows (defaults 30, 40, 30). The coupling shift lands at
+	// the pre/shift boundary and is permanent.
+	PreWindows, ShiftWindows, PostWindows int
+	// FaultEvery injects one single-window fault burst per this many
+	// windows in every phase (default 6).
+	FaultEvery int
+}
+
+func (o DriftOptions) withDefaults() DriftOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Metrics <= 2 {
+		o.Metrics = 6
+	}
+	if o.WindowLen <= 0 {
+		o.WindowLen = 100
+	}
+	if o.TrainRuns <= 0 {
+		o.TrainRuns = 4
+	}
+	if o.PreWindows <= 0 {
+		o.PreWindows = 30
+	}
+	if o.ShiftWindows <= 0 {
+		o.ShiftWindows = 40
+	}
+	if o.PostWindows <= 0 {
+		o.PostWindows = 30
+	}
+	if o.FaultEvery <= 0 {
+		o.FaultEvery = 6
+	}
+	return o
+}
+
+// DriftPhaseStats is one arm's window-level outcome over one phase.
+type DriftPhaseStats struct {
+	Name string
+	// CleanWindows/FaultWindows partition the phase; CleanFlagged of the
+	// former reported at least one violation (false positives), and
+	// FaultFlagged of the latter did (true positives).
+	CleanWindows, FaultWindows int
+	CleanFlagged, FaultFlagged int
+}
+
+// FPRate is the fraction of clean windows that reported a violation.
+func (s DriftPhaseStats) FPRate() float64 {
+	if s.CleanWindows == 0 {
+		return 0
+	}
+	return float64(s.CleanFlagged) / float64(s.CleanWindows)
+}
+
+// Recall is the fraction of injected fault windows that were flagged.
+func (s DriftPhaseStats) Recall() float64 {
+	if s.FaultWindows == 0 {
+		return 0
+	}
+	return float64(s.FaultFlagged) / float64(s.FaultWindows)
+}
+
+// Precision is flagged-fault / all-flagged over the phase.
+func (s DriftPhaseStats) Precision() float64 {
+	if s.FaultFlagged+s.CleanFlagged == 0 {
+		return 0
+	}
+	return float64(s.FaultFlagged) / float64(s.FaultFlagged+s.CleanFlagged)
+}
+
+// DriftArm is one system's trajectory through the three phases.
+type DriftArm struct {
+	Name             string
+	Pre, Shift, Post DriftPhaseStats
+	// Lifecycle trajectory (zero for the train-once arm): peak quarantined
+	// edge count, shadow generations promoted/rolled back, final model
+	// generation — and QuarantineLeaks, the number of violation reports
+	// naming a quarantined pair, which the masking contract pins at zero.
+	PeakQuarantined       int
+	Promotions, Rollbacks int64
+	FinalGeneration       uint64
+	QuarantineLeaks       int
+}
+
+// DriftStudy compares train-once and lifecycle-enabled arms over the same
+// drifting trace.
+type DriftStudy struct {
+	TrainOnce DriftArm
+	Lifecycle DriftArm
+}
+
+func (s *DriftStudy) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "drift study (coupling shift at pre/shift boundary):\n")
+	for _, arm := range []*DriftArm{&s.TrainOnce, &s.Lifecycle} {
+		fmt.Fprintf(&b, "  %-10s", arm.Name)
+		for _, ph := range []*DriftPhaseStats{&arm.Pre, &arm.Shift, &arm.Post} {
+			fmt.Fprintf(&b, "  %s: FP %.2f P %.2f R %.2f", ph.Name, ph.FPRate(), ph.Precision(), ph.Recall())
+		}
+		if arm.Promotions+int64(arm.PeakQuarantined) > 0 {
+			fmt.Fprintf(&b, "  [quarantined %d, promoted %d, rolled back %d, gen %d]",
+				arm.PeakQuarantined, arm.Promotions, arm.Rollbacks, arm.FinalGeneration)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// driftGen synthesises coupled-metric windows: every metric rides one
+// latent factor per sample unless decoupled, in which case it is
+// independent noise — which moves the MIC *strength* of its pairs, the
+// kind of change MIC can see (a monotone rescaling would be invisible).
+type driftGen struct {
+	rng  *stats.RNG
+	m, n int
+}
+
+func (g *driftGen) window(decoupled map[int]bool) *metrics.Trace {
+	rows := make([][]float64, g.m)
+	for i := range rows {
+		rows[i] = make([]float64, g.n)
+	}
+	for s := 0; s < g.n; s++ {
+		latent := g.rng.Float64()
+		for i := 0; i < g.m; i++ {
+			if decoupled[i] {
+				rows[i][s] = g.rng.Float64()
+			} else {
+				rows[i][s] = float64(i+1)*latent + g.rng.Normal(0, 0.02)
+			}
+		}
+	}
+	return &metrics.Trace{Rows: rows, Ticks: g.n}
+}
+
+// driftWindow is one scheduled diagnosis window, shared by both arms.
+type driftWindow struct {
+	tr    *metrics.Trace
+	fault bool
+	phase int // 0 pre, 1 shift, 2 post
+}
+
+// DriftLifecycleConfig is the lifecycle tuning the study's lifecycle arm
+// runs (exported so deployments facing similar drift have a vetted
+// starting point): tolerant enough that one-window fault bursts drain back
+// out of the change-point accumulator, tight enough that a permanent shift
+// quarantines within a handful of windows.
+func DriftLifecycleConfig() core.LifecycleConfig {
+	return core.LifecycleConfig{
+		Enabled:         true,
+		MinObservations: 8,
+		Drift:           0.25,
+		Threshold:       2.5,
+		DecayAlpha:      0.3,
+		ShadowMinEvals:  8,
+		ShadowMaxEvals:  64,
+		PromoteMaxRate:  0.3,
+	}
+}
+
+// RunDriftStudy trains both arms on the same clean runs, then feeds both
+// the same drifting window schedule and scores each phase.
+func RunDriftStudy(opts DriftOptions) (*DriftStudy, error) {
+	opts = opts.withDefaults()
+	root := stats.NewRNG(opts.Seed)
+
+	// One shared corpus: training runs and the three-phase schedule.
+	gen := &driftGen{rng: root.Fork(1), m: opts.Metrics, n: opts.WindowLen}
+	var trainRuns []*metrics.Trace
+	for r := 0; r < opts.TrainRuns; r++ {
+		trainRuns = append(trainRuns, gen.window(nil))
+	}
+	driftMetric := opts.Metrics - 1 // shifts permanently at the boundary
+	faultMetric := 1               // bursts for one window at a time
+	var schedule []driftWindow
+	phaseLens := []int{opts.PreWindows, opts.ShiftWindows, opts.PostWindows}
+	for phase, n := range phaseLens {
+		for i := 0; i < n; i++ {
+			dec := map[int]bool{}
+			if phase > 0 {
+				dec[driftMetric] = true
+			}
+			fault := (i+1)%opts.FaultEvery == 0
+			if fault {
+				dec[faultMetric] = true
+			}
+			schedule = append(schedule, driftWindow{tr: gen.window(dec), fault: fault, phase: phase})
+		}
+	}
+
+	study := &DriftStudy{}
+	for _, arm := range []struct {
+		name      string
+		lifecycle core.LifecycleConfig
+		out       *DriftArm
+	}{
+		{"train-once", core.LifecycleConfig{}, &study.TrainOnce},
+		{"lifecycle", DriftLifecycleConfig(), &study.Lifecycle},
+	} {
+		cfg := core.DefaultConfig()
+		cfg.Lifecycle = arm.lifecycle
+		a, err := runDriftArm(arm.name, cfg, trainRuns, schedule)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: drift arm %s: %w", arm.name, err)
+		}
+		*arm.out = *a
+	}
+	return study, nil
+}
+
+func runDriftArm(name string, cfg core.Config, trainRuns []*metrics.Trace, schedule []driftWindow) (*DriftArm, error) {
+	sys := core.New(cfg)
+	ctx := core.Context{Workload: "drift", IP: "10.0.0.1"}
+	if err := sys.TrainInvariants(ctx, trainRuns); err != nil {
+		return nil, err
+	}
+	p := sys.Profile(ctx)
+	arm := &DriftArm{Name: name}
+	arm.Pre.Name, arm.Shift.Name, arm.Post.Name = "pre", "shift", "post"
+	phases := []*DriftPhaseStats{&arm.Pre, &arm.Shift, &arm.Post}
+	for _, w := range schedule {
+		rep, err := p.Violations(w.tr)
+		if err != nil {
+			return nil, err
+		}
+		flagged := len(rep.Violated) > 0
+		ph := phases[w.phase]
+		if w.fault {
+			ph.FaultWindows++
+			if flagged {
+				ph.FaultFlagged++
+			}
+		} else {
+			ph.CleanWindows++
+			if flagged {
+				ph.CleanFlagged++
+			}
+		}
+		if cfg.Lifecycle.Enabled {
+			st := p.LifecycleStats()
+			if st.Quarantined > arm.PeakQuarantined {
+				arm.PeakQuarantined = st.Quarantined
+			}
+			if st.Quarantined > 0 && flagged {
+				// The masking contract: a violated pair must never be a
+				// quarantined one.
+				quarantined := map[invariant.Pair]bool{}
+				for _, e := range p.LifecycleEdges() {
+					if e.State == invariant.EdgeQuarantined {
+						quarantined[e.Pair] = true
+					}
+				}
+				for _, pr := range rep.Violated {
+					if quarantined[pr] {
+						arm.QuarantineLeaks++
+					}
+				}
+			}
+		}
+	}
+	st := p.LifecycleStats()
+	arm.Promotions = st.Promotions
+	arm.Rollbacks = st.Rollbacks
+	arm.FinalGeneration = st.Generation
+	return arm, nil
+}

@@ -146,6 +146,15 @@ type ProfileInfo struct {
 	CacheHits   int64  `json:"cacheHits"`
 	CacheMisses int64  `json:"cacheMisses"`
 
+	// Drift-lifecycle state of the profile's model (all zero when the
+	// lifecycle is disabled): live generation, quarantined edge count,
+	// oldest shadow candidate age, and promotion/rollback tallies.
+	Generation       uint64 `json:"generation"`
+	QuarantinedEdges int    `json:"quarantinedEdges"`
+	ShadowAge        int    `json:"shadowAge"`
+	Promotions       int64  `json:"promotions"`
+	Rollbacks        int64  `json:"rollbacks"`
+
 	// Serving-side stream state; zero-valued when nothing was ingested for
 	// the context yet.
 	WindowLen int   `json:"windowLen"`

@@ -19,6 +19,25 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// sleep waits out a backoff delay; nil selects a context-aware timer.
+	// Injectable so backoff tests run in virtual time.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// pause blocks for d or until ctx is cancelled, whichever comes first.
+func (c *Client) pause(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // New returns a client for the server at base (e.g. "http://127.0.0.1:8080").

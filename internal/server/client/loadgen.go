@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -117,9 +118,54 @@ func SynthBatch(rng *stats.RNG, cfg LoadConfig, n int) []server.Sample {
 	return out
 }
 
+// Shed-backoff shape: capped exponential with jitter, floored by the
+// server's Retry-After hint. The base is small enough that a single
+// spurious 429 barely dents throughput; repeated sheds double toward the
+// cap so a saturated server sees the load step back instead of hammering
+// the admission gate.
+const (
+	shedBackoffBase = 50 * time.Millisecond
+	shedBackoffCap  = 5 * time.Second
+)
+
+// shedBackoff is one stream's 429 pacing state.
+type shedBackoff struct {
+	rng         *stats.RNG
+	consecutive int
+}
+
+// delay returns how long to wait after one more shed response. The
+// exponential term is jittered across its lower half (decorrelating the
+// streams); the server's Retry-After is a floor, never jittered below.
+func (b *shedBackoff) delay(err error) time.Duration {
+	shift := b.consecutive
+	if shift > 6 {
+		shift = 6 // 50ms << 6 = 3.2s, next to the cap
+	}
+	b.consecutive++
+	d := shedBackoffBase << shift
+	if d > shedBackoffCap {
+		d = shedBackoffCap
+	}
+	d = d/2 + time.Duration(b.rng.Float64()*float64(d/2))
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfter > d {
+		d = ae.RetryAfter
+	}
+	if d > shedBackoffCap {
+		d = shedBackoffCap
+	}
+	return d
+}
+
+// reset clears the streak on any accepted request.
+func (b *shedBackoff) reset() { b.consecutive = 0 }
+
 // RunLoad drives cfg.Streams concurrent ingest streams against the server at
 // c until every stream has sent its batches or ctx is cancelled. Shed batches
-// (429) are counted, not retried — the report's Shed column is the
+// (429) are counted and honoured: the stream backs off with capped,
+// jittered exponential delays floored by the server's Retry-After hint
+// before sending anything further — the report's Shed column is the
 // backpressure observability, and at full speed a nonzero value is expected.
 func (c *Client) RunLoad(ctx context.Context, cfg LoadConfig) *LoadReport {
 	cfg = cfg.withDefaults()
@@ -135,6 +181,7 @@ func (c *Client) RunLoad(ctx context.Context, cfg LoadConfig) *LoadReport {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			bo := shedBackoff{rng: rng.Fork(-1)}
 			for b := 0; cfg.Batches == 0 || b < cfg.Batches; b++ {
 				if ctx.Err() != nil {
 					return
@@ -146,8 +193,12 @@ func (c *Client) RunLoad(ctx context.Context, cfg LoadConfig) *LoadReport {
 				case err == nil:
 					accepted.Add(1)
 					samples.Add(int64(resp.Accepted))
+					bo.reset()
 				case IsShed(err):
 					shed.Add(1)
+					if c.pause(ctx, bo.delay(err)) != nil {
+						return
+					}
 				case ctx.Err() != nil:
 					return
 				default:
@@ -161,8 +212,12 @@ func (c *Client) RunLoad(ctx context.Context, cfg LoadConfig) *LoadReport {
 						mu.Lock()
 						rep.ReportIDs = append(rep.ReportIDs, d.ID)
 						mu.Unlock()
+						bo.reset()
 					case IsShed(err):
 						shed.Add(1)
+						if c.pause(ctx, bo.delay(err)) != nil {
+							return
+						}
 					case ctx.Err() != nil:
 						return
 					default:

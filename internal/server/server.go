@@ -206,7 +206,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		case <-ctx.Done():
 			s.shutErr = fmt.Errorf("server: drain aborted: %w", ctx.Err())
 		}
-		s.sched.close()
+		// close joins the worker pool — but a worker wedged inside a task
+		// (a stuck diagnosis, a hung callback) would otherwise hang the
+		// whole shutdown indefinitely, well past the operator's drain
+		// budget. Bound the join by the same context: on expiry the
+		// stragglers are abandoned to process exit, and whatever state
+		// drained cleanly is still persisted below.
+		closed := make(chan struct{})
+		go func() {
+			s.sched.close()
+			close(closed)
+		}()
+		select {
+		case <-closed:
+		case <-ctx.Done():
+			if s.shutErr == nil {
+				s.shutErr = fmt.Errorf("server: worker join aborted: %w", ctx.Err())
+			}
+		}
 		if s.cfg.StoreDir != "" {
 			if err := s.sys.SaveTo(s.cfg.StoreDir); err != nil && s.shutErr == nil {
 				s.shutErr = fmt.Errorf("server: persisting profiles: %w", err)
@@ -437,6 +454,12 @@ func (s *Server) handleProfiles(w http.ResponseWriter, _ *http.Request) {
 			Windows:     ps.Windows,
 			CacheHits:   ps.Cache.Hits,
 			CacheMisses: ps.Cache.Misses,
+
+			Generation:       ps.Lifecycle.Generation,
+			QuarantinedEdges: ps.Lifecycle.Quarantined,
+			ShadowAge:        ps.Lifecycle.ShadowAge,
+			Promotions:       ps.Lifecycle.Promotions,
+			Rollbacks:        ps.Lifecycle.Rollbacks,
 		}
 	}
 	s.mu.RLock()
@@ -561,6 +584,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if sigScanned > 0 {
 		sigEarlyRate = float64(sigEarly) / float64(sigScanned)
 	}
+	lc := s.sys.LifecycleStats()
 	h := &s.ctr.diagnoseLatency
 	writeJSON(w, http.StatusOK, Stats{
 		UptimeSec:     time.Since(s.start).Seconds(),
@@ -596,6 +620,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		SigScanEntries:       sigScanned,
 		SigScanEarlyExits:    sigEarly,
 		SigScanEarlyExitRate: sigEarlyRate,
+
+		LifecycleEnabled:  lc.Enabled,
+		ModelGeneration:   lc.Generation,
+		LifecycleEdges:    lc.Edges,
+		QuarantinedEdges:  lc.Quarantined,
+		ShadowAge:         lc.ShadowAge,
+		LifecycleObserved: lc.Observed,
+		Promotions:        lc.Promotions,
+		Rollbacks:         lc.Rollbacks,
 
 		DiagnoseLatency: LatencySummary{
 			Count:  h.total.Load(),

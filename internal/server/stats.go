@@ -142,5 +142,18 @@ type Stats struct {
 	SigScanEarlyExits    int64   `json:"sigScanEarlyExits"`
 	SigScanEarlyExitRate float64 `json:"sigScanEarlyExitRate"`
 
+	// Drift-lifecycle aggregates (see core.LifecycleStats): edges under
+	// health tracking, currently quarantined edges, the oldest shadow
+	// candidate's evaluation age, and how many shadow generations were
+	// promoted or rolled back. All zero when the lifecycle is disabled.
+	LifecycleEnabled  bool   `json:"lifecycleEnabled"`
+	ModelGeneration   uint64 `json:"modelGeneration"`
+	LifecycleEdges    int    `json:"lifecycleEdges"`
+	QuarantinedEdges  int    `json:"quarantinedEdges"`
+	ShadowAge         int    `json:"shadowAge"`
+	LifecycleObserved int64  `json:"lifecycleObserved"`
+	Promotions        int64  `json:"promotions"`
+	Rollbacks         int64  `json:"rollbacks"`
+
 	DiagnoseLatency LatencySummary `json:"diagnoseLatency"`
 }

@@ -1,0 +1,126 @@
+package stats
+
+import "math"
+
+// This file holds the streaming change-point detectors behind the invariant
+// lifecycle: tiny constant-state tests that decide, one observation at a
+// time, whether the mean of a series has shifted upward. The invariant
+// layer feeds them per-edge violation indicators (0/1 per diagnosed
+// window); a persistent upward shift of the violation rate over its
+// training-time expectation is the signature of a drifted invariant, as
+// opposed to the short bursts a genuine fault produces.
+
+// CUSUM is a one-sided cumulative-sum detector for an upward mean shift.
+// Each observation adds (x − drift) to an accumulator clamped at zero; the
+// detector alarms when the accumulator exceeds threshold. drift is the
+// tolerated mean (observations at or below it never accumulate), threshold
+// trades detection delay against false alarms: a series persistently at
+// mean m > drift alarms after about threshold/(m − drift) observations,
+// while isolated excursions drain back at drift per quiet observation.
+//
+// The zero value is unusable; construct with NewCUSUM. Not safe for
+// concurrent use.
+type CUSUM struct {
+	drift     float64
+	threshold float64
+	sum       float64
+}
+
+// NewCUSUM returns a one-sided CUSUM with the given tolerated drift and
+// alarm threshold (both must be finite; threshold must be positive).
+func NewCUSUM(drift, threshold float64) *CUSUM {
+	if math.IsNaN(drift) || math.IsInf(drift, 0) {
+		drift = 0
+	}
+	if !(threshold > 0) || math.IsInf(threshold, 0) {
+		threshold = 1
+	}
+	return &CUSUM{drift: drift, threshold: threshold}
+}
+
+// Offer feeds one observation and reports whether the detector is in alarm
+// after it. Non-finite observations are ignored. The accumulator keeps
+// integrating past the threshold, so Offer keeps returning true until
+// Reset; callers that quarantine on first alarm simply stop offering.
+func (c *CUSUM) Offer(x float64) bool {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return c.sum > c.threshold
+	}
+	c.sum += x - c.drift
+	if c.sum < 0 {
+		c.sum = 0
+	}
+	return c.sum > c.threshold
+}
+
+// Value returns the current accumulator — the evidence of an upward shift
+// collected so far, in the same units as the observations.
+func (c *CUSUM) Value() float64 { return c.sum }
+
+// Alarming reports whether the accumulator currently exceeds the threshold.
+func (c *CUSUM) Alarming() bool { return c.sum > c.threshold }
+
+// Reset clears the accumulator.
+func (c *CUSUM) Reset() { c.sum = 0 }
+
+// Restore sets the accumulator directly — used when resuming a persisted
+// detector. Negative or non-finite values clamp to zero.
+func (c *CUSUM) Restore(sum float64) {
+	if math.IsNaN(sum) || math.IsInf(sum, 0) || sum < 0 {
+		sum = 0
+	}
+	c.sum = sum
+}
+
+// PageHinkley is the Page-Hinkley test for an upward mean shift: it tracks
+// the running mean of the series and accumulates the deviations of each
+// observation above (mean + delta); an alarm fires when the accumulated
+// deviation rises more than lambda above its historical minimum. Unlike
+// CUSUM it needs no a-priori baseline — the running mean is the baseline —
+// which suits series whose normal level is nonzero but unknown.
+//
+// The zero value is unusable; construct with NewPageHinkley. Not safe for
+// concurrent use.
+type PageHinkley struct {
+	delta  float64
+	lambda float64
+	n      int64
+	mean   float64
+	acc    float64
+	min    float64
+}
+
+// NewPageHinkley returns a Page-Hinkley test with magnitude tolerance
+// delta and alarm threshold lambda (lambda must be positive).
+func NewPageHinkley(delta, lambda float64) *PageHinkley {
+	if math.IsNaN(delta) || math.IsInf(delta, 0) || delta < 0 {
+		delta = 0
+	}
+	if !(lambda > 0) || math.IsInf(lambda, 0) {
+		lambda = 1
+	}
+	return &PageHinkley{delta: delta, lambda: lambda}
+}
+
+// Offer feeds one observation and reports whether the test is in alarm
+// after it. Non-finite observations are ignored.
+func (p *PageHinkley) Offer(x float64) bool {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return p.acc-p.min > p.lambda
+	}
+	p.n++
+	p.mean += (x - p.mean) / float64(p.n)
+	p.acc += x - p.mean - p.delta
+	if p.acc < p.min {
+		p.min = p.acc
+	}
+	return p.acc-p.min > p.lambda
+}
+
+// Value returns the current test statistic (accumulator minus its minimum).
+func (p *PageHinkley) Value() float64 { return p.acc - p.min }
+
+// Reset clears all state, forgetting the learned mean.
+func (p *PageHinkley) Reset() {
+	p.n, p.mean, p.acc, p.min = 0, 0, 0, 0
+}

@@ -1,0 +1,62 @@
+package xmlstore
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// LifecycleEdge is one trained edge's persisted health and shadow state:
+// the drift-detection series (observations, violations, EWMA rate and
+// change-point accumulator) plus, for quarantined edges, the decayed
+// candidate baseline and its side-by-side evaluation tally.
+type LifecycleEdge struct {
+	I     int     `xml:"i,attr"`
+	J     int     `xml:"j,attr"`
+	State string  `xml:"state,attr"`
+	Obs   int64   `xml:"obs,attr"`
+	Viol  int64   `xml:"viol,attr"`
+	Rate  float64 `xml:"rate,attr"`
+	Score float64 `xml:"score,attr"`
+
+	ShadowBase  float64 `xml:"shadow-base,attr"`
+	ShadowN     int64   `xml:"shadow-n,attr"`
+	ShadowEvals int     `xml:"shadow-evals,attr"`
+	ShadowViol  int     `xml:"shadow-viol,attr"`
+	LiveViol    int     `xml:"live-viol,attr"`
+}
+
+// LifecycleFile is the persisted drift-lifecycle state of one profile's
+// live model generation. SetFingerprint binds it to the exact invariant
+// set it describes: on load, a mismatch (a crash between the invariants
+// and lifecycle writes, e.g. mid-promotion) keeps the loaded invariants as
+// the single consistent generation and discards the stale edge state.
+type LifecycleFile struct {
+	XMLName        xml.Name        `xml:"lifecycle"`
+	Version        int             `xml:"version,attr"`
+	IP             string          `xml:"ip"`
+	Type           string          `xml:"type"`
+	Generation     uint64          `xml:"generation"`
+	SetFingerprint string          `xml:"set-fingerprint"`
+	Observed       int64           `xml:"observed"`
+	Promotions     int64           `xml:"promotions"`
+	Rollbacks      int64           `xml:"rollbacks"`
+	Edges          []LifecycleEdge `xml:"edges>edge"`
+}
+
+// Validate checks the store version and the basic shape of the edge list;
+// the semantic checks (pair membership, state names) belong to the
+// restoring layer, which knows the invariant set.
+func (f LifecycleFile) Validate() error {
+	if err := checkVersion(f.Version); err != nil {
+		return err
+	}
+	for i, e := range f.Edges {
+		if e.I < 0 || e.J < 0 || e.I >= e.J {
+			return fmt.Errorf("xmlstore: lifecycle edge %d has invalid pair (%d,%d)", i, e.I, e.J)
+		}
+		if e.Obs < 0 || e.Viol < 0 || e.Viol > e.Obs {
+			return fmt.Errorf("xmlstore: lifecycle edge %d has inconsistent counts (%d violations of %d observations)", i, e.Viol, e.Obs)
+		}
+	}
+	return nil
+}
