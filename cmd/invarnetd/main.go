@@ -42,11 +42,15 @@ import (
 func main() {
 	fs := flag.NewFlagSet("invarnetd", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	ingestTCP := fs.String("ingest-tcp", "", "raw TCP listener for binary ingest frames (e.g. :8081); empty = off")
 	models := fs.String("models", "./models", "model directory (XML files); loaded on boot, persisted on shutdown")
 	window := fs.Int("window", server.DefaultWindowCap, "sliding window length per stream (ticks)")
 	queueCap := fs.Int("queue", server.DefaultQueueCap, "per-profile task queue bound")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	reports := fs.Int("reports", server.DefaultReportCap, "retained diagnosis reports")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "bound on reading one request's headers (slow-loris guard)")
+	readTimeout := fs.Duration("read-timeout", time.Minute, "bound on reading one whole request")
+	idleTimeout := fs.Duration("idle-timeout", server.DefaultIngestIdleTimeout, "keep-alive idle bound; also the frame gap deadline on -ingest-tcp connections")
 	drainSecs := fs.Int("drain", 30, "shutdown drain budget in seconds (deprecated: use -drain-timeout)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on graceful shutdown: queue drain, worker join and persistence start within this budget even if a worker is wedged")
 	lifecycle := fs.Bool("lifecycle", false, "enable the drift-aware invariant lifecycle (edge health, quarantine, shadow-generation promotion)")
@@ -92,22 +96,44 @@ func main() {
 	if *pprofAddr != "" {
 		// Profiling stays off the API handler: a second listener, bound by
 		// the operator (typically loopback-only), serving the default mux
-		// that the pprof import registered into.
+		// that the pprof import registered into. Header timeouts apply here
+		// too — a debug port is no excuse for an unbounded connection.
 		go func() {
 			log.Printf("pprof listening on %s", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			pp := &http.Server{Addr: *pprofAddr, ReadHeaderTimeout: *readHeaderTimeout}
+			if err := pp.ListenAndServe(); err != nil {
 				log.Printf("warning: pprof listener: %v", err)
 			}
 		}()
 	}
 
-	if err := serve(cfg, *addr, budget); err != nil {
+	opts := serveOptions{
+		addr:              *addr,
+		ingestTCP:         *ingestTCP,
+		drainBudget:       budget,
+		readHeaderTimeout: *readHeaderTimeout,
+		readTimeout:       *readTimeout,
+		idleTimeout:       *idleTimeout,
+	}
+	if err := serve(cfg, opts); err != nil {
 		log.Fatal(err)
 	}
 }
 
+// serveOptions carries the listener-level knobs: addresses and the
+// connection timeouts that keep a slow or dead peer from pinning server
+// state (slow-loris hardening).
+type serveOptions struct {
+	addr              string
+	ingestTCP         string // raw binary ingest listener; "" = off
+	drainBudget       time.Duration
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	idleTimeout       time.Duration
+}
+
 // serve runs the daemon until SIGINT/SIGTERM, then drains and persists.
-func serve(cfg server.Config, addr string, drainBudget time.Duration) error {
+func serve(cfg server.Config, opts serveOptions) error {
 	srv, loadRep, err := server.New(cfg)
 	if err != nil {
 		return err
@@ -116,14 +142,38 @@ func serve(cfg server.Config, addr string, drainBudget time.Duration) error {
 		log.Printf("restored from %s: %s", cfg.StoreDir, loadRep)
 	}
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
-	errc := make(chan error, 1)
+	httpSrv := &http.Server{
+		Addr:              opts.addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: opts.readHeaderTimeout,
+		ReadTimeout:       opts.readTimeout,
+		IdleTimeout:       opts.idleTimeout,
+	}
+	errc := make(chan error, 2)
 	go func() {
 		eff := srv.Config()
 		log.Printf("invarnetd listening on %s (workers=%d queue=%d window=%d)",
-			addr, eff.Workers, eff.QueueCap, eff.WindowCap)
+			opts.addr, eff.Workers, eff.QueueCap, eff.WindowCap)
 		errc <- httpSrv.ListenAndServe()
 	}()
+
+	var tcpLn net.Listener
+	tcpDone := make(chan struct{})
+	if opts.ingestTCP != "" {
+		tcpLn, err = net.Listen("tcp", opts.ingestTCP)
+		if err != nil {
+			return fmt.Errorf("ingest-tcp listener: %w", err)
+		}
+		go func() {
+			defer close(tcpDone)
+			log.Printf("binary ingest listening on %s", tcpLn.Addr())
+			if err := srv.ServeIngestTCP(tcpLn, opts.idleTimeout); err != nil {
+				errc <- fmt.Errorf("ingest-tcp: %w", err)
+			}
+		}()
+	} else {
+		close(tcpDone)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -131,13 +181,20 @@ func serve(cfg server.Config, addr string, drainBudget time.Duration) error {
 	case sig := <-sigc:
 		log.Printf("received %s, draining", sig)
 	case err := <-errc:
+		if tcpLn != nil {
+			tcpLn.Close()
+		}
 		return err
 	}
 
-	// Shutdown ordering: stop the listener first (no new requests), then
-	// drain the accepted work and persist (server.Shutdown).
-	ctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+	// Shutdown ordering: stop the listeners first (no new requests or
+	// frames), then drain the accepted work and persist (server.Shutdown).
+	ctx, cancel := context.WithTimeout(context.Background(), opts.drainBudget)
 	defer cancel()
+	if tcpLn != nil {
+		tcpLn.Close()
+		<-tcpDone
+	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("warning: http shutdown: %v", err)
 	}
@@ -174,17 +231,57 @@ func runSmoke(cfg server.Config, seconds float64) error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	go httpSrv.Serve(ln)
 	base := "http://" + ln.Addr().String()
-	log.Printf("smoke: serving on %s for %.1fs", base, seconds)
 
+	// The raw binary ingest listener rides the same smoke: one frame over
+	// TCP must round-trip before the load starts.
+	tcpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	tcpDone := make(chan error, 1)
+	go func() { tcpDone <- srv.ServeIngestTCP(tcpLn, time.Minute) }()
+	fc, err := client.DialIngest(tcpLn.Addr().String())
+	if err != nil {
+		return fmt.Errorf("dialing ingest-tcp: %w", err)
+	}
+	wl0, node0 := lcfg.StreamID(0)
+	tcpBatch := client.SynthBatch(stats.NewRNG(11), lcfg, lcfg.BatchLen)
+	accepted, err := fc.Send(wl0, node0, tcpBatch)
+	fc.Close()
+	if err != nil {
+		return fmt.Errorf("ingest-tcp frame: %w", err)
+	}
+	if accepted != len(tcpBatch) {
+		return fmt.Errorf("ingest-tcp accepted %d samples, want %d", accepted, len(tcpBatch))
+	}
+
+	// Half the load budget each for the JSON surface and the binary frame
+	// path, so `make smoke` exercises both data planes against the socket.
+	log.Printf("smoke: serving on %s for %.1fs (json + binary)", base, seconds)
 	c := client.New(base, nil)
-	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(seconds*float64(time.Second)))
+	half := time.Duration(seconds * float64(time.Second) / 2)
+	ctx, cancel := context.WithTimeout(context.Background(), half)
 	rep := c.RunLoad(ctx, lcfg)
 	cancel()
-	log.Printf("smoke: load done: sent=%d accepted=%d shed=%d errors=%d samples=%d diagnoses=%d",
-		rep.Sent, rep.Accepted, rep.Shed, rep.Errors, rep.Samples, rep.Diagnoses)
+	bcfg := lcfg
+	bcfg.Binary = true
+	ctx, cancel = context.WithTimeout(context.Background(), half)
+	brep := c.RunLoad(ctx, bcfg)
+	cancel()
+	if brep.Accepted == 0 {
+		return errors.New("binary load: no batches accepted")
+	}
+	rep.Sent += brep.Sent
+	rep.Accepted += brep.Accepted
+	rep.Shed += brep.Shed
+	rep.Errors += brep.Errors
+	rep.Samples += brep.Samples
+	rep.Diagnoses += brep.Diagnoses
+	log.Printf("smoke: load done: sent=%d accepted=%d shed=%d errors=%d samples=%d diagnoses=%d (binary: accepted=%d)",
+		rep.Sent, rep.Accepted, rep.Shed, rep.Errors, rep.Samples, rep.Diagnoses, brep.Accepted)
 
 	// Sanity: the socket is live, traffic flowed, and the counters add up.
 	bg := context.Background()
@@ -216,6 +313,10 @@ func runSmoke(cfg server.Config, seconds float64) error {
 
 	ctx, cancel = context.WithTimeout(bg, 30*time.Second)
 	defer cancel()
+	tcpLn.Close()
+	if err := <-tcpDone; err != nil {
+		return fmt.Errorf("ingest-tcp shutdown: %w", err)
+	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}

@@ -1,0 +1,73 @@
+package arima
+
+import (
+	"math"
+	"testing"
+
+	"invarnetx/internal/stats"
+)
+
+// TestForecasterMatchesPredictNext pins the streaming forecaster to the
+// batch reference: at every prefix of a series, across AR/MA/differenced
+// orders, the two must return bit-identical forecasts and agree on when
+// the history is long enough to predict at all.
+func TestForecasterMatchesPredictNext(t *testing.T) {
+	rng := stats.NewRNG(610)
+	xs := genAR(rng, 300, 0.3, []float64{0.5, 0.2}, 0.5)
+	for _, order := range []Order{
+		{P: 0, D: 0, Q: 0},
+		{P: 2, D: 0, Q: 0},
+		{P: 1, D: 0, Q: 1},
+		{P: 2, D: 1, Q: 1},
+		{P: 1, D: 2, Q: 2},
+	} {
+		m, err := Fit(xs, order)
+		if err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		f := m.NewForecaster()
+		for i, x := range xs {
+			// Before consuming xs[i], both views share history xs[:i].
+			want, wantErr := m.PredictNext(xs[:i])
+			got, gotErr := f.PredictNext()
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%v at %d: batch err %v, stream err %v", order, i, wantErr, gotErr)
+			}
+			if wantErr == nil && math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%v at %d: stream %v != batch %v", order, i, got, want)
+			}
+			f.Observe(x)
+		}
+		// And one step past the end of the series.
+		want, err := m.PredictNext(xs)
+		if err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		got, err := f.PredictNext()
+		if err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("%v final: stream %v != batch %v", order, got, want)
+		}
+	}
+}
+
+// TestForecasterConstantMemory: the lag state never grows past the model's
+// lead, however long the stream runs.
+func TestForecasterConstantMemory(t *testing.T) {
+	rng := stats.NewRNG(611)
+	xs := genAR(rng, 200, 0.1, []float64{0.4}, 0.3)
+	m, err := Fit(xs, Order{P: 2, D: 1, Q: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.NewForecaster()
+	for i := 0; i < 10000; i++ {
+		f.Observe(rng.Normal(0, 1))
+	}
+	if len(f.w) > f.lead || cap(f.w) > f.lead || len(f.e) > f.lead || cap(f.e) > f.lead {
+		t.Fatalf("lag state grew: len/cap w %d/%d e %d/%d, lead %d",
+			len(f.w), cap(f.w), len(f.e), cap(f.e), f.lead)
+	}
+}

@@ -48,6 +48,30 @@ func Parse(r io.Reader) ([]Result, error) {
 	return out, nil
 }
 
+// Best collapses repeated runs of the same benchmark (as produced by
+// `go test -count N`) into one result per name, keeping each name's
+// fastest run. Under scheduler and frequency noise — which only ever adds
+// time — the minimum of a few runs is a far more stable estimator of the
+// true cost than any single run, so baselines and comparisons built from
+// best-of-N flap much less on busy machines. Allocation counts are
+// near-deterministic and ride along with the winning run. Results stay in
+// name order.
+func Best(results []Result) []Result {
+	byName := make(map[string]int, len(results))
+	out := results[:0]
+	for _, r := range results {
+		if i, seen := byName[r.Name]; seen {
+			if r.NsPerOp < out[i].NsPerOp {
+				out[i] = r
+			}
+			continue
+		}
+		byName[r.Name] = len(out)
+		out = append(out, r)
+	}
+	return out
+}
+
 // parseLine handles one result line, e.g.
 //
 //	BenchmarkMIC-8  200  32580 ns/op  8720 B/op  63 allocs/op  0.97 corr

@@ -71,6 +71,34 @@ func TestParseRejectsMalformed(t *testing.T) {
 	}
 }
 
+func TestBestKeepsFastestRun(t *testing.T) {
+	// Three -count repeats of A (middle one fastest), one run of B.
+	in := []Result{
+		{Name: "BenchmarkA", NsPerOp: 120, AllocsPerOp: 4, Metrics: map[string]float64{"x": 1}},
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 4, Metrics: map[string]float64{"x": 2}},
+		{Name: "BenchmarkA", NsPerOp: 150, AllocsPerOp: 4, Metrics: map[string]float64{"x": 3}},
+		{Name: "BenchmarkB", NsPerOp: 7, AllocsPerOp: 1},
+	}
+	out := Best(in)
+	if len(out) != 2 {
+		t.Fatalf("Best kept %d results, want 2", len(out))
+	}
+	if out[0].Name != "BenchmarkA" || out[0].NsPerOp != 100 || out[0].Metrics["x"] != 2 {
+		t.Errorf("BenchmarkA best = %+v, want the 100 ns/op run with its metrics", out[0])
+	}
+	if out[1].Name != "BenchmarkB" || out[1].NsPerOp != 7 {
+		t.Errorf("BenchmarkB = %+v", out[1])
+	}
+}
+
+func TestBestSingleRunsUntouched(t *testing.T) {
+	in := []Result{{Name: "BenchmarkA", NsPerOp: 10}, {Name: "BenchmarkB", NsPerOp: 20}}
+	out := Best(in)
+	if len(out) != 2 || out[0].NsPerOp != 10 || out[1].NsPerOp != 20 {
+		t.Errorf("Best over unique names changed results: %+v", out)
+	}
+}
+
 func TestParseKeepsNameWithNonNumericSuffix(t *testing.T) {
 	// A trailing -word is part of the name, not a GOMAXPROCS suffix.
 	results, err := Parse(strings.NewReader("BenchmarkX/sub-case-8 	 10 	 5 ns/op\n"))

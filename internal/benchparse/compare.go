@@ -19,12 +19,17 @@ func (r Regression) String() string {
 	return fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx)", r.Name, r.Unit, r.Base, r.New, r.Ratio)
 }
 
-// Compare reports every benchmark in base whose ns/op or allocs/op grew by
-// more than threshold (fractional, e.g. 0.2 = +20%) in cur. A benchmark
-// present in base but absent from cur is a regression too (the suite lost
-// coverage); benchmarks only in cur are ignored — they become regressions
-// once the baseline is regenerated. Results are returned in base order.
-func Compare(base, cur []Result, threshold float64) []Regression {
+// Compare reports every benchmark in base whose ns/op grew by more than
+// timeThreshold, or whose allocs/op grew by more than allocThreshold, in cur
+// (both fractional, e.g. 0.2 = +20%). The gates are separate because the
+// figures have different noise floors: wall time jitters with the scheduler,
+// while allocation counts are near-deterministic, so the alloc gate can sit
+// much tighter and catch an accidental per-sample allocation that a 20%
+// time budget would hide. A benchmark present in base but absent from cur
+// is a regression too (the suite lost coverage); benchmarks only in cur are
+// ignored — they become regressions once the baseline is regenerated.
+// Results are returned in base order.
+func Compare(base, cur []Result, timeThreshold, allocThreshold float64) []Regression {
 	curByName := make(map[string]Result, len(cur))
 	for _, r := range cur {
 		curByName[r.Name] = r
@@ -36,8 +41,8 @@ func Compare(base, cur []Result, threshold float64) []Regression {
 			regs = append(regs, Regression{Name: b.Name, Unit: "missing"})
 			continue
 		}
-		regs = append(regs, compareFigure(b.Name, "ns/op", b.NsPerOp, c.NsPerOp, threshold)...)
-		regs = append(regs, compareFigure(b.Name, "allocs/op", float64(b.AllocsPerOp), float64(c.AllocsPerOp), threshold)...)
+		regs = append(regs, compareFigure(b.Name, "ns/op", b.NsPerOp, c.NsPerOp, timeThreshold)...)
+		regs = append(regs, compareFigure(b.Name, "allocs/op", float64(b.AllocsPerOp), float64(c.AllocsPerOp), allocThreshold)...)
 	}
 	return regs
 }

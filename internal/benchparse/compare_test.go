@@ -13,12 +13,12 @@ func TestCompare(t *testing.T) {
 		{Name: "BenchmarkSteady", NsPerOp: 200, AllocsPerOp: 4},
 	}
 	cur := []Result{
-		{Name: "BenchmarkFast", NsPerOp: 150, AllocsPerOp: 10},    // +50% ns/op: regression
-		{Name: "BenchmarkSlow", NsPerOp: 1100, AllocsPerOp: 2},    // +10% ns/op ok; 0->2 allocs: regression
-		{Name: "BenchmarkSteady", NsPerOp: 239, AllocsPerOp: 4},   // +19.5%: within threshold
-		{Name: "BenchmarkNew", NsPerOp: 9999, AllocsPerOp: 9999},  // new bench: not a regression
+		{Name: "BenchmarkFast", NsPerOp: 150, AllocsPerOp: 10},   // +50% ns/op: regression
+		{Name: "BenchmarkSlow", NsPerOp: 1100, AllocsPerOp: 2},   // +10% ns/op ok; 0->2 allocs: regression
+		{Name: "BenchmarkSteady", NsPerOp: 239, AllocsPerOp: 4},  // +19.5%: within threshold
+		{Name: "BenchmarkNew", NsPerOp: 9999, AllocsPerOp: 9999}, // new bench: not a regression
 	}
-	regs := Compare(base, cur, 0.2)
+	regs := Compare(base, cur, 0.2, 0.2)
 	if len(regs) != 3 {
 		t.Fatalf("got %d regressions, want 3: %v", len(regs), regs)
 	}
@@ -42,7 +42,25 @@ func TestCompare(t *testing.T) {
 func TestCompareClean(t *testing.T) {
 	base := []Result{{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 3}}
 	cur := []Result{{Name: "BenchmarkA", NsPerOp: 90, AllocsPerOp: 3}}
-	if regs := Compare(base, cur, 0.2); len(regs) != 0 {
+	if regs := Compare(base, cur, 0.2, 0.1); len(regs) != 0 {
 		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+// TestCompareAllocGate: the allocation gate is independent of — and can sit
+// tighter than — the time gate.
+func TestCompareAllocGate(t *testing.T) {
+	base := []Result{{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 100}}
+	cur := []Result{{Name: "BenchmarkA", NsPerOp: 115, AllocsPerOp: 115}} // +15% both
+	regs := Compare(base, cur, 0.2, 0.1)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1 (allocs only): %v", len(regs), regs)
+	}
+	if regs[0].Unit != "allocs/op" || regs[0].New != 115 {
+		t.Errorf("regs[0] = %+v, want allocs/op 100->115", regs[0])
+	}
+	// The same drift passes when both gates are at 20%.
+	if regs := Compare(base, cur, 0.2, 0.2); len(regs) != 0 {
+		t.Fatalf("within-threshold drift flagged: %v", regs)
 	}
 }

@@ -215,13 +215,24 @@ func (d *Detector) ResidualSeries(trace []float64) ([]float64, error) {
 // Monitor is the online detection state for one running job: feed CPI
 // samples as they arrive; Alert fires after Consecutive anomalous samples
 // in a row.
+//
+// The monitor streams: prediction state lives in an arima.Forecaster whose
+// forecasts are bit-identical to PredictNext over the accumulated history,
+// so each Offer costs O(model lag) time and the monitor's memory does not
+// grow with the stream (unless AnomalyLog is left enabled). A monitor
+// embedded in a long-lived server must set DisableLog.
 type Monitor struct {
 	d       *Detector
-	history []float64
+	fc      *arima.Forecaster
 	run     int
 	alerted bool
 	// AnomalyLog records the per-sample anomaly decisions (Fig. 6 plots).
+	// It grows by one entry per Offer; DisableLog stops the recording for
+	// unbounded streams.
 	AnomalyLog []bool
+	// DisableLog turns off AnomalyLog recording, keeping the monitor's
+	// memory constant however long it runs.
+	DisableLog bool
 	// gaps counts missing (NaN/±Inf) samples offered so far; consecGaps is
 	// the current run of them.
 	gaps       int
@@ -233,10 +244,10 @@ type Monitor struct {
 // warm-up samples — telemetry gaps — are excluded from the seed history so
 // they cannot poison the first forecasts.
 func (d *Detector) NewMonitor(warmup []float64) *Monitor {
-	m := &Monitor{d: d, history: make([]float64, 0, len(warmup))}
+	m := &Monitor{d: d, fc: d.Model.NewForecaster()}
 	for _, v := range warmup {
 		if !math.IsNaN(v) && !math.IsInf(v, 0) {
-			m.history = append(m.history, v)
+			m.fc.Observe(v)
 		}
 	}
 	return m
@@ -258,12 +269,18 @@ func (m *Monitor) Offer(sample float64) bool {
 		if m.consecGaps >= m.d.Consecutive {
 			m.run = 0
 		}
-		m.AnomalyLog = append(m.AnomalyLog, false)
+		if !m.DisableLog {
+			m.AnomalyLog = append(m.AnomalyLog, false)
+		}
 		return false
 	}
 	m.consecGaps = 0
-	res, err := m.d.Residual(m.history, sample)
-	m.history = append(m.history, sample)
+	pred, err := m.fc.PredictNext()
+	m.fc.Observe(sample)
+	res := sample - pred
+	if res < 0 {
+		res = -res
+	}
 	anom := err == nil && m.d.Anomalous(res)
 	if anom {
 		m.run++
@@ -273,7 +290,9 @@ func (m *Monitor) Offer(sample float64) bool {
 	} else {
 		m.run = 0
 	}
-	m.AnomalyLog = append(m.AnomalyLog, anom)
+	if !m.DisableLog {
+		m.AnomalyLog = append(m.AnomalyLog, anom)
+	}
 	return anom
 }
 

@@ -3,6 +3,7 @@ package mic
 import (
 	"errors"
 	"math"
+	"slices"
 )
 
 // Slider maintains one metric's sliding window together with its
@@ -40,6 +41,36 @@ func NewSlider(capacity int, cfg Config) *Slider {
 // Len returns the current window length.
 func (s *Slider) Len() int { return len(s.vals) }
 
+// Equal reports whether two sliders hold bit-identical window state —
+// values (NaN gap placeholders compare bitwise, so a masked window can be
+// checked too), validity flags and the maintained order. Equivalence pin
+// for callers that must prove two ingest paths build the same state.
+func (s *Slider) Equal(o *Slider) bool {
+	if len(s.vals) != len(o.vals) || len(s.order) != len(o.order) {
+		return false
+	}
+	for i := range s.vals {
+		if math.Float64bits(s.vals[i]) != math.Float64bits(o.vals[i]) || s.ok[i] != o.ok[i] {
+			return false
+		}
+	}
+	for i := range s.order {
+		if s.order[i] != o.order[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset empties the window, keeping the capacity, configuration and backing
+// arrays. Used when a caller rebuilds the slider from authoritative window
+// state instead of replaying the samples it missed.
+func (s *Slider) Reset() {
+	s.vals = s.vals[:0]
+	s.ok = s.ok[:0]
+	s.order = s.order[:0]
+}
+
 // Append pushes the newest sample, evicting the oldest when the window is
 // full. Invalid or non-finite samples are stored (the window keeps its time
 // shape) but excluded from the maintained order.
@@ -72,18 +103,68 @@ func (s *Slider) Append(v float64, valid bool) {
 	s.order[lo] = idx
 }
 
+// AppendBatch slides a whole batch into the window, oldest first —
+// equivalent to calling Append per sample but paying the index maintenance
+// once per batch instead of once per sample: a single eviction/renumber
+// pass up front, and when the batch replaces the window outright (batch at
+// least as long as the capacity, the bulk-ingest steady state) one
+// re-sort instead of len(batch) evict/insert cycles. The resulting window
+// and order are identical to the sequential path.
+func (s *Slider) AppendBatch(vals []float64, ok []bool) {
+	b := len(vals)
+	if b == 0 {
+		return
+	}
+	if b >= s.cap {
+		off := b - s.cap
+		s.vals = append(s.vals[:0], vals[off:]...)
+		s.ok = s.ok[:0]
+		s.order = s.order[:0]
+		for i, v := range s.vals {
+			valid := ok[off+i] && !math.IsNaN(v) && !math.IsInf(v, 0)
+			s.ok = append(s.ok, valid)
+			if valid {
+				s.order = append(s.order, i)
+			}
+		}
+		// Ascending by value with ties in time order — exactly the order
+		// the per-sample inserts ("after every existing value <= v") build.
+		slices.SortFunc(s.order, func(a, b int) int {
+			va, vb := s.vals[a], s.vals[b]
+			if va != vb {
+				if va < vb {
+					return -1
+				}
+				return 1
+			}
+			return a - b
+		})
+		return
+	}
+	if over := len(s.vals) + b - s.cap; over > 0 {
+		s.evictOldestN(over)
+	}
+	for i, v := range vals {
+		s.Append(v, ok[i]) // room made above: no per-sample eviction
+	}
+}
+
 // evictOldest drops sample 0 and renumbers the survivors.
-func (s *Slider) evictOldest() {
-	copy(s.vals, s.vals[1:])
-	s.vals = s.vals[:len(s.vals)-1]
-	copy(s.ok, s.ok[1:])
-	s.ok = s.ok[:len(s.ok)-1]
+func (s *Slider) evictOldest() { s.evictOldestN(1) }
+
+// evictOldestN drops the k oldest samples and renumbers the survivors in
+// one pass.
+func (s *Slider) evictOldestN(k int) {
+	copy(s.vals, s.vals[k:])
+	s.vals = s.vals[:len(s.vals)-k]
+	copy(s.ok, s.ok[k:])
+	s.ok = s.ok[:len(s.ok)-k]
 	w := 0
 	for _, idx := range s.order {
-		if idx == 0 {
-			continue // the evicted sample
+		if idx < k {
+			continue // evicted samples
 		}
-		s.order[w] = idx - 1
+		s.order[w] = idx - k
 		w++
 	}
 	s.order = s.order[:w]

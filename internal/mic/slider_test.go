@@ -204,3 +204,52 @@ func TestNewBatchPreparedMatchesNewBatch(t *testing.T) {
 		t.Error("empty batch should error")
 	}
 }
+
+// TestSliderAppendBatchMatchesSequential drives a batched slider and a
+// per-sample slider through the same stream — random batch sizes straddling
+// the capacity, heavy value ties, masked and non-finite samples — and
+// requires the full internal state (window, validity, maintained order) to
+// stay identical. AppendBatch is the bulk-ingest fast path; per-sample
+// Append is its semantics.
+func TestSliderAppendBatchMatchesSequential(t *testing.T) {
+	rng := stats.NewRNG(1904)
+	const cap = 24
+	batched := NewSlider(cap, DefaultConfig())
+	seq := NewSlider(cap, DefaultConfig())
+	for step := 0; step < 200; step++ {
+		n := 1 + rng.Intn(2*cap) // from single samples to window-replacing bulks
+		vals := make([]float64, n)
+		ok := make([]bool, n)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(6)) // heavy ties
+			if rng.Float64() < 0.4 {
+				vals[i] = rng.Uniform(0, 10)
+			}
+			ok[i] = rng.Float64() < 0.9
+			if rng.Float64() < 0.05 {
+				vals[i] = math.NaN() // non-finite with valid=true: coerced invalid
+			}
+		}
+		batched.AppendBatch(vals, ok)
+		for i := range vals {
+			seq.Append(vals[i], ok[i])
+		}
+		if len(batched.vals) != len(seq.vals) || len(batched.order) != len(seq.order) {
+			t.Fatalf("step %d: state sizes diverged: %d/%d vals, %d/%d order",
+				step, len(batched.vals), len(seq.vals), len(batched.order), len(seq.order))
+		}
+		for i := range seq.vals {
+			bv, sv := batched.vals[i], seq.vals[i]
+			if math.Float64bits(bv) != math.Float64bits(sv) || batched.ok[i] != seq.ok[i] {
+				t.Fatalf("step %d sample %d: batched (%v,%v) != sequential (%v,%v)",
+					step, i, bv, batched.ok[i], sv, seq.ok[i])
+			}
+		}
+		for i := range seq.order {
+			if batched.order[i] != seq.order[i] {
+				t.Fatalf("step %d: order diverged at %d: %v vs %v",
+					step, i, batched.order, seq.order)
+			}
+		}
+	}
+}

@@ -176,8 +176,12 @@ type Health struct {
 	UptimeSec float64 `json:"uptimeSec"`
 }
 
-// validateSamples checks wire samples for shape errors once, before any
-// state is touched.
+// validateSamples checks wire samples for shape errors and non-finite
+// values once, before any state is touched. JSON cannot carry NaN/Inf, but
+// binary frames and in-process callers can; a non-finite value admitted here
+// would poison the MIC preparations and the detector's forecast history, so
+// both ingest paths reject it at admission — validity masks are the only
+// sanctioned gap channel.
 func validateSamples(samples []Sample) error {
 	if len(samples) == 0 {
 		return fmt.Errorf("server: empty sample batch")
@@ -189,8 +193,34 @@ func validateSamples(samples []Sample) error {
 		if s.Valid != nil && len(s.Valid) != metrics.Count {
 			return fmt.Errorf("server: sample %d mask has %d entries, want %d", i, len(s.Valid), metrics.Count)
 		}
+		for m, v := range s.Metrics {
+			if !isFinite(v) {
+				return fmt.Errorf("server: sample %d metric %d is %v (gaps ride validity masks, not non-finite values)", i, m, v)
+			}
+		}
+		if !isFinite(s.CPI) {
+			return fmt.Errorf("server: sample %d CPI is %v (gaps ride validity masks, not non-finite values)", i, s.CPI)
+		}
 	}
 	return nil
+}
+
+// isFinite reports whether v is an admissible wire value (not NaN, not ±Inf).
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// maskValue applies the telemetry gap semantics to one wire entry: a
+// masked-invalid entry whose placeholder is zero is stored as NaN (the
+// honest Mask policy); any other placeholder (held or interpolated value) is
+// kept as-is and stays flagged invalid by the mask. This is the single
+// definition both the trace builder and the columnar stream window (slider
+// feeds included) go through, so the two can never diverge.
+func maskValue(v float64, valid bool) float64 {
+	if !valid && v == 0 {
+		return math.NaN()
+	}
+	return v
 }
 
 // TraceFromSamples materialises wire samples into a metrics.Trace, applying
@@ -225,15 +255,10 @@ func addSample(tr *metrics.Trace, s Sample) error {
 	}
 	values := append([]float64(nil), s.Metrics...)
 	for m, ok := range valid {
-		if !ok && values[m] == 0 {
-			values[m] = math.NaN()
-		}
+		values[m] = maskValue(values[m], ok)
 	}
 	cpiOK := s.CPIValid == nil || *s.CPIValid
-	cpi := s.CPI
-	if !cpiOK && cpi == 0 {
-		cpi = math.NaN()
-	}
+	cpi := maskValue(s.CPI, cpiOK)
 	return tr.AddMasked(values, valid, cpi, cpiOK)
 }
 

@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"invarnetx/internal/server"
@@ -92,20 +93,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		ae := &APIError{StatusCode: resp.StatusCode}
-		var envelope struct {
-			Error string `json:"error"`
-		}
-		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
-			ae.Message = envelope.Error
-		} else {
-			ae.Message = string(raw)
-		}
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
-			ae.RetryAfter = time.Duration(secs) * time.Second
-		}
-		return ae
+		return c.apiError(resp)
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
@@ -117,6 +105,24 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return nil
 }
 
+// apiError decodes a non-2xx response into *APIError.
+func (c *Client) apiError(resp *http.Response) error {
+	ae := &APIError{StatusCode: resp.StatusCode}
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
+		ae.Message = envelope.Error
+	} else {
+		ae.Message = string(raw)
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		ae.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return ae
+}
+
 // Ingest submits one batch of samples for the (workload, node) stream.
 func (c *Client) Ingest(ctx context.Context, workload, node string, samples []server.Sample) (*server.IngestResponse, error) {
 	var out server.IngestResponse
@@ -125,6 +131,41 @@ func (c *Client) Ingest(ctx context.Context, workload, node string, samples []se
 	}, &out)
 	if err != nil {
 		return nil, err
+	}
+	return &out, nil
+}
+
+// frameBufPool recycles encoded-frame buffers across IngestFrame calls.
+var frameBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); return &b }}
+
+// IngestFrame submits one batch in the compact binary frame encoding
+// (Content-Type application/x-invarnet-frame) — the wire-speed twin of
+// Ingest, decoding server-side without per-sample allocation. The response
+// and the error surface (429 shed, IsShed) are identical to the JSON path.
+func (c *Client) IngestFrame(ctx context.Context, workload, node string, samples []server.Sample) (*server.IngestResponse, error) {
+	bufp := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(bufp)
+	frame, err := server.AppendFrame((*bufp)[:0], workload, node, samples)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding frame: %w", err)
+	}
+	*bufp = frame[:0]
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/ingest", bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", server.ContentTypeFrame)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, c.apiError(resp)
+	}
+	var out server.IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
 	}
 	return &out, nil
 }

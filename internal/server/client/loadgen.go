@@ -39,6 +39,10 @@ type LoadConfig struct {
 	// GapRate injects masked telemetry gaps at this per-entry probability
 	// (0 disables) — exercises the degraded/masked pipeline end to end.
 	GapRate float64
+	// Binary switches ingest to the compact frame encoding
+	// (Client.IngestFrame) instead of JSON — the wire-speed data plane.
+	// Diagnose traffic stays JSON either way (it is control-plane rate).
+	Binary bool
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -188,7 +192,13 @@ func (c *Client) RunLoad(ctx context.Context, cfg LoadConfig) *LoadReport {
 				}
 				batch := SynthBatch(rng, cfg, cfg.BatchLen)
 				sent.Add(1)
-				resp, err := c.Ingest(ctx, workload, node, batch)
+				var resp *server.IngestResponse
+				var err error
+				if cfg.Binary {
+					resp, err = c.IngestFrame(ctx, workload, node, batch)
+				} else {
+					resp, err = c.Ingest(ctx, workload, node, batch)
+				}
 				switch {
 				case err == nil:
 					accepted.Add(1)

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -298,6 +300,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.refuseDraining(w) {
 		return
 	}
+	if ct := r.Header.Get("Content-Type"); ct == ContentTypeFrame ||
+		strings.HasPrefix(ct, ContentTypeFrame+";") {
+		s.handleIngestFrame(w, r)
+		return
+	}
 	var req IngestRequest
 	if !s.readJSON(w, r, &req) {
 		return
@@ -310,9 +317,61 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	st := s.stream(core.Context{Workload: req.Workload, IP: req.Node})
-	batch := req.Samples
-	if err := s.sched.enqueue(st.queue, func() { st.apply(s, batch) }); err != nil {
+	b := getBatch()
+	b.fromSamples(req.Samples)
+	s.admitBatch(w, req.Workload, req.Node, b)
+}
+
+// frameBufPool recycles request-body buffers for the binary ingest path.
+var frameBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); return &b }}
+
+// handleIngestFrame is the binary twin of the JSON ingest path: one
+// length-prefixed columnar frame as the request body, decoded into a pooled
+// batch without per-sample allocation, admitted through the same scheduler.
+func (s *Server) handleIngestFrame(w http.ResponseWriter, r *http.Request) {
+	bufp := frameBufPool.Get().(*[]byte)
+	defer func() { frameBufPool.Put(bufp) }()
+	buf := (*bufp)[:0]
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "reading frame: %v", err)
+			return
+		}
+	}
+	*bufp = buf[:0] // keep the grown buffer for the pool
+	frame, err := splitFrame(buf)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	b := getBatch()
+	wb, nb, err := decodeFrame(frame, b)
+	if err != nil {
+		putBatch(b)
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.admitBatch(w, string(wb), string(nb), b)
+}
+
+// admitBatch enqueues one columnar batch onto its stream's queue — shared
+// admission for both encodings, so 429 backpressure and the counters behave
+// identically. Ownership of b passes here: it returns to the pool after the
+// task applies it, or immediately when admission sheds it.
+func (s *Server) admitBatch(w http.ResponseWriter, workload, node string, b *ingestBatch) {
+	st := s.stream(core.Context{Workload: workload, IP: node})
+	n := b.n
+	if err := s.sched.enqueue(st.queue, func() { st.apply(s, b); putBatch(b) }); err != nil {
+		putBatch(b)
 		if errors.Is(err, ErrQueueFull) {
 			s.ctr.ingestShed.Add(1)
 			s.shed(w, "ingest")
@@ -322,9 +381,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.ctr.ingestBatches.Add(1)
-	s.ctr.ingestSamples.Add(int64(len(batch)))
+	s.ctr.ingestSamples.Add(int64(n))
 	writeJSON(w, http.StatusAccepted, IngestResponse{
-		Accepted:   len(batch),
+		Accepted:   n,
 		QueueDepth: s.sched.depth.Load(),
 	})
 }

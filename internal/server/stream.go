@@ -12,9 +12,141 @@ import (
 	"invarnetx/internal/mic"
 )
 
-// stream is the serving-side state of one operation context: the sliding
-// window of recently ingested samples, the live drift monitor, and the
-// bounded task queue every asynchronous operation for the context rides.
+// ingestBatch is the admission-side columnar form of one accepted batch:
+// per-metric value columns with the gap semantics already applied (see
+// maskValue), parallel validity flags, and the CPI column. Both ingest paths
+// converge here — the JSON handler converts decoded samples, the binary
+// handler decodes frames straight into one — so the sliding windows and
+// sliders see bit-identical state regardless of encoding.
+//
+// Batches are pooled (batchPool) and reused across requests: in the steady
+// state neither decode path allocates per sample.
+type ingestBatch struct {
+	n     int
+	cols  []float64 // metrics.Count * n, column-major: cols[m*n+i]
+	valid []bool    // metrics.Count * n, same layout
+	cpi   []float64 // n
+	cpiOK []bool    // n
+}
+
+// ensure sizes the batch for n samples, growing the backing arrays only when
+// a larger batch than ever seen arrives.
+func (b *ingestBatch) ensure(n int) {
+	b.n = n
+	if cap(b.cols) < metrics.Count*n {
+		b.cols = make([]float64, metrics.Count*n)
+		b.valid = make([]bool, metrics.Count*n)
+	}
+	b.cols = b.cols[:metrics.Count*n]
+	b.valid = b.valid[:metrics.Count*n]
+	if cap(b.cpi) < n {
+		b.cpi = make([]float64, n)
+		b.cpiOK = make([]bool, n)
+	}
+	b.cpi = b.cpi[:n]
+	b.cpiOK = b.cpiOK[:n]
+}
+
+// fromSamples converts validated wire samples into columnar form, applying
+// maskValue once at the boundary.
+func (b *ingestBatch) fromSamples(samples []Sample) {
+	n := len(samples)
+	b.ensure(n)
+	for i, s := range samples {
+		for m := 0; m < metrics.Count; m++ {
+			ok := s.Valid == nil || s.Valid[m]
+			b.cols[m*n+i] = maskValue(s.Metrics[m], ok)
+			b.valid[m*n+i] = ok
+		}
+		ok := s.CPIValid == nil || *s.CPIValid
+		b.cpi[i] = maskValue(s.CPI, ok)
+		b.cpiOK[i] = ok
+	}
+}
+
+// batchPool recycles ingestBatch column buffers across requests and
+// connections.
+var batchPool = sync.Pool{New: func() any { return new(ingestBatch) }}
+
+func getBatch() *ingestBatch  { return batchPool.Get().(*ingestBatch) }
+func putBatch(b *ingestBatch) { batchPool.Put(b) }
+
+// colWindow is the columnar sliding window of one stream: per-metric value
+// columns (maskValue applied), a CPI column and parallel validity flags, all
+// in flat arrays allocated once at window capacity and reused for the
+// stream's lifetime — sliding never allocates. Column-major: metric m's tick
+// i lives at cols[m*cap+i]; ticks are newest-last.
+type colWindow struct {
+	cap, n int
+	cols   []float64
+	valid  []bool
+	cpi    []float64
+	cpiOK  []bool
+}
+
+func (w *colWindow) init(capacity int) {
+	w.cap = capacity
+	w.cols = make([]float64, metrics.Count*capacity)
+	w.valid = make([]bool, metrics.Count*capacity)
+	w.cpi = make([]float64, capacity)
+	w.cpiOK = make([]bool, capacity)
+}
+
+// slide appends one batch, evicting the oldest ticks beyond capacity. A
+// batch at least as long as the window replaces it with the batch's tail.
+func (w *colWindow) slide(b *ingestBatch) {
+	if b.n >= w.cap {
+		off := b.n - w.cap
+		for m := 0; m < metrics.Count; m++ {
+			copy(w.cols[m*w.cap:(m+1)*w.cap], b.cols[m*b.n+off:(m+1)*b.n])
+			copy(w.valid[m*w.cap:(m+1)*w.cap], b.valid[m*b.n+off:(m+1)*b.n])
+		}
+		copy(w.cpi, b.cpi[off:])
+		copy(w.cpiOK, b.cpiOK[off:])
+		w.n = w.cap
+		return
+	}
+	if over := w.n + b.n - w.cap; over > 0 {
+		for m := 0; m < metrics.Count; m++ {
+			col := w.cols[m*w.cap : m*w.cap+w.n]
+			ok := w.valid[m*w.cap : m*w.cap+w.n]
+			copy(col, col[over:])
+			copy(ok, ok[over:])
+		}
+		copy(w.cpi[:w.n], w.cpi[over:w.n])
+		copy(w.cpiOK[:w.n], w.cpiOK[over:w.n])
+		w.n -= over
+	}
+	for m := 0; m < metrics.Count; m++ {
+		copy(w.cols[m*w.cap+w.n:m*w.cap+w.n+b.n], b.cols[m*b.n:(m+1)*b.n])
+		copy(w.valid[m*w.cap+w.n:m*w.cap+w.n+b.n], b.valid[m*b.n:(m+1)*b.n])
+	}
+	copy(w.cpi[w.n:w.n+b.n], b.cpi)
+	copy(w.cpiOK[w.n:w.n+b.n], b.cpiOK)
+	w.n += b.n
+}
+
+// masked reports whether any windowed entry (metric or CPI) is flagged
+// invalid.
+func (w *colWindow) masked() bool {
+	for m := 0; m < metrics.Count; m++ {
+		for _, ok := range w.valid[m*w.cap : m*w.cap+w.n] {
+			if !ok {
+				return true
+			}
+		}
+	}
+	for _, ok := range w.cpiOK[:w.n] {
+		if !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// stream is the serving-side state of one operation context: the columnar
+// sliding window of recently ingested samples, the live drift monitor, and
+// the bounded task queue every asynchronous operation for the context rides.
 //
 // Window and monitor mutate only inside tasks on the stream's queue, which
 // the scheduler serialises — one task of a queue runs at a time, in order —
@@ -24,8 +156,8 @@ type stream struct {
 	ctx   core.Context
 	queue *queue
 
-	mu      sync.Mutex
-	samples []Sample // sliding window, newest last, len <= Config.WindowCap
+	mu  sync.Mutex
+	win colWindow // sliding window, newest last, n <= Config.WindowCap
 	// gen counts applied ingest batches: it changes whenever the window
 	// content can have changed, so hash(context, gen) fingerprints the
 	// window for the sparse report cache without hashing the samples.
@@ -35,6 +167,13 @@ type stream struct {
 	// ready-made MIC preparations instead of re-sorting the whole window.
 	// Nil when the configured association has no batched-MIC form.
 	sliders []*mic.Slider
+	// slidersDirty marks sliders that lag the window: a batch that replaces
+	// the window outright makes the incremental state worthless, so apply
+	// skips the per-batch maintenance and the next consumer (windowHint, or
+	// a smaller batch) rebuilds from the window in one pass. Bulk ingest
+	// (batch >= window) therefore pays no sort work at all between
+	// diagnoses.
+	slidersDirty bool
 
 	monitor  *detect.Monitor
 	ingested atomic.Int64
@@ -44,9 +183,12 @@ type stream struct {
 
 // apply is the ingest task body: slide the batch into the window, then feed
 // the CPI readings to the drift monitor. Runs serialised on the stream's
-// queue.
-func (st *stream) apply(srv *Server, batch []Sample) {
+// queue. The caller owns b and releases it after apply returns.
+func (st *stream) apply(srv *Server, b *ingestBatch) {
 	st.mu.Lock()
+	if st.win.cols == nil {
+		st.win.init(srv.cfg.WindowCap)
+	}
 	if srv.useSliders && st.sliders == nil {
 		st.sliders = make([]*mic.Slider, metrics.Count)
 		for i := range st.sliders {
@@ -54,39 +196,32 @@ func (st *stream) apply(srv *Server, batch []Sample) {
 		}
 	}
 	if st.sliders != nil {
-		// Feed the sliders exactly the values TraceFromSamples would store
-		// (zero placeholders of invalid entries become NaN), so a scorer
-		// built from their snapshots sees the same window the trace carries.
-		for _, smp := range batch {
+		// The batch columns already carry the maskValue gap semantics (zero
+		// placeholders of invalid entries are NaN), so a scorer built from
+		// the slider snapshots sees the same window the trace carries.
+		if b.n >= srv.cfg.WindowCap {
+			st.slidersDirty = true
+		} else {
+			if st.slidersDirty {
+				st.rebuildSliders() // catch up from the pre-batch window
+			}
 			for m := 0; m < metrics.Count; m++ {
-				v := smp.Metrics[m]
-				ok := smp.Valid == nil || smp.Valid[m]
-				if !ok && v == 0 {
-					v = math.NaN()
-				}
-				st.sliders[m].Append(v, ok)
+				st.sliders[m].AppendBatch(b.cols[m*b.n:(m+1)*b.n], b.valid[m*b.n:(m+1)*b.n])
 			}
 		}
 	}
 	st.gen++
-	st.samples = append(st.samples, batch...)
-	if over := len(st.samples) - srv.cfg.WindowCap; over > 0 {
-		// Copy down rather than re-slice so evicted ticks do not pin the
-		// backing array's head forever.
-		n := copy(st.samples, st.samples[over:])
-		for i := n; i < len(st.samples); i++ {
-			st.samples[i] = Sample{}
-		}
-		st.samples = st.samples[:n]
-	}
-	window := st.samples
+	st.win.slide(b)
+	winN := st.win.n
 	st.mu.Unlock()
-	st.ingested.Add(int64(len(batch)))
+	st.ingested.Add(int64(b.n))
 	srv.ctr.detectTasks.Add(1)
 
 	// Drift detection wants a trained model; a stream may start flowing
 	// before its context is trained, so the lookup is retried per batch
 	// until it succeeds (lookups are two atomic-ish map reads — cheap).
+	// Reading st.win without the mutex is safe here: apply is the only
+	// mutator and tasks of a queue are serialised.
 	if st.monitor == nil {
 		d, err := srv.sys.Detector(st.ctx)
 		if err != nil {
@@ -95,18 +230,22 @@ func (st *stream) apply(srv *Server, batch []Sample) {
 		// Seed with everything already windowed before this batch (a batch
 		// larger than the window may have evicted its own head); the batch
 		// itself is offered sample by sample below.
-		head := len(window) - len(batch)
+		head := winN - b.n
 		if head < 0 {
 			head = 0
 		}
 		warmup := make([]float64, 0, head)
-		for _, s := range window[:head] {
-			warmup = append(warmup, cpiOf(s))
+		for i := 0; i < head; i++ {
+			warmup = append(warmup, cpiObserved(st.win.cpi[i], st.win.cpiOK[i]))
 		}
 		st.monitor = d.NewMonitor(warmup)
+		// Server streams run indefinitely: drop the per-sample anomaly log
+		// so the monitor's memory stays constant (the forecaster state
+		// already is).
+		st.monitor.DisableLog = true
 	}
-	for _, s := range batch {
-		st.monitor.Offer(cpiOf(s))
+	for i := 0; i < b.n; i++ {
+		st.monitor.Offer(cpiObserved(b.cpi[i], b.cpiOK[i]))
 		if st.monitor.Alert() {
 			st.alerts.Add(1)
 			srv.ctr.alerts.Add(1)
@@ -116,29 +255,68 @@ func (st *stream) apply(srv *Server, batch []Sample) {
 	}
 }
 
-// cpiOf maps a wire sample to the CPI value the monitor should see: a
-// masked-invalid reading is a telemetry gap (NaN), which the monitor
-// excludes from its forecast history rather than treating as data.
-func cpiOf(s Sample) float64 {
-	if s.CPIValid != nil && !*s.CPIValid {
-		return math.NaN()
+// rebuildSliders reloads every slider from the current window columns and
+// clears the dirty mark. Caller holds st.mu (or runs serialised on the
+// stream's queue with the mutex taken, as apply and windowHint do).
+func (st *stream) rebuildSliders() {
+	w := &st.win
+	for m, sl := range st.sliders {
+		sl.Reset()
+		sl.AppendBatch(w.cols[m*w.cap:m*w.cap+w.n], w.valid[m*w.cap:m*w.cap+w.n])
 	}
-	return s.CPI
+	st.slidersDirty = false
 }
 
-// windowTrace snapshots the current sliding window as a metrics.Trace.
+// cpiObserved maps a windowed CPI entry to the value the monitor should see:
+// a masked-invalid reading is a telemetry gap (NaN, whatever the
+// placeholder), which the monitor excludes from its forecast history rather
+// than treating as data.
+func cpiObserved(v float64, valid bool) float64 {
+	if !valid {
+		return math.NaN()
+	}
+	return v
+}
+
+// windowTrace snapshots the current sliding window as a metrics.Trace. A
+// window without any masked entry materialises as an unmasked trace —
+// exactly what TraceFromSamples builds from mask-free wire samples.
 func (st *stream) windowTrace() (*metrics.Trace, error) {
 	st.mu.Lock()
-	samples := append([]Sample(nil), st.samples...)
-	st.mu.Unlock()
-	return TraceFromSamples(st.ctx.Workload, st.ctx.IP, samples)
+	defer st.mu.Unlock()
+	w := &st.win
+	tr := metrics.NewTrace(st.ctx.IP, st.ctx.Workload)
+	masked := w.masked()
+	row := make([]float64, metrics.Count)
+	var valid []bool
+	if masked {
+		valid = make([]bool, metrics.Count)
+	}
+	for i := 0; i < w.n; i++ {
+		for m := 0; m < metrics.Count; m++ {
+			row[m] = w.cols[m*w.cap+i]
+		}
+		var err error
+		if masked {
+			for m := 0; m < metrics.Count; m++ {
+				valid[m] = w.valid[m*w.cap+i]
+			}
+			err = tr.AddMasked(row, valid, w.cpi[i], w.cpiOK[i])
+		} else {
+			err = tr.Add(row, w.cpi[i])
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
 }
 
 // windowLen returns the current window length.
 func (st *stream) windowLen() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return len(st.samples)
+	return st.win.n
 }
 
 // streamFP fingerprints a stream window by identity and generation (FNV-1a
@@ -175,6 +353,10 @@ func streamFP(ctx core.Context, gen uint64) uint64 {
 // sliders cannot advance while the hint is alive.
 func (st *stream) windowHint() *core.WindowHint {
 	st.mu.Lock()
+	if st.sliders != nil && st.slidersDirty {
+		st.rebuildSliders() // deferred by bulk ingest; safe: hint building
+		// is serialised with apply on the stream's queue
+	}
 	gen := st.gen
 	sliders := st.sliders
 	st.mu.Unlock()

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"testing"
+
+	"invarnetx/internal/metrics"
+	"invarnetx/internal/stats"
+)
+
+// FuzzDecodeFrame hammers the binary frame decoder with arbitrary bytes:
+// whatever arrives, it must never panic, and a successful decode must have
+// verified the header against the bytes actually present — the batch it
+// fills is sized by the frame, never by an unchecked header field.
+func FuzzDecodeFrame(f *testing.F) {
+	seed := func(samples []Sample) {
+		buf, err := EncodeFrame("sort", "10.0.0.1", samples)
+		if err != nil {
+			f.Fatal(err)
+		}
+		body, err := splitFrame(buf)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	seed(testSamples(1))
+	seed(testSamples(11))
+	seed(maskedSamples(stats.NewRNG(77), 9))
+	// Truncated and corrupted variants of a valid frame.
+	good, err := EncodeFrame("wc", "n2", testSamples(3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good[4 : len(good)-7])
+	crooked := append([]byte(nil), good[4:]...)
+	crooked[10] = 0xee // inflated sample count
+	f.Add(crooked)
+	f.Add([]byte{})
+	f.Add([]byte("IXF1"))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var b ingestBatch
+		wb, nb, err := decodeFrame(body, &b)
+		if err != nil {
+			return
+		}
+		if b.n < 1 || b.n > MaxFrameSamples {
+			t.Fatalf("decoded sample count %d outside [1,%d]", b.n, MaxFrameSamples)
+		}
+		if len(wb) == 0 || len(nb) == 0 {
+			t.Fatal("decoded empty identity")
+		}
+		// The batch the decoder filled is bounded by the input: every
+		// column byte decoded came out of the body.
+		if metrics.Count*b.n*8 > len(body) {
+			t.Fatalf("batch holds %d column bytes from a %d-byte frame", metrics.Count*b.n*8, len(body))
+		}
+		if len(b.cols) != metrics.Count*b.n || len(b.cpi) != b.n ||
+			len(b.valid) != metrics.Count*b.n || len(b.cpiOK) != b.n {
+			t.Fatalf("inconsistent batch shape: n=%d cols=%d valid=%d cpi=%d cpiOK=%d",
+				b.n, len(b.cols), len(b.valid), len(b.cpi), len(b.cpiOK))
+		}
+	})
+}

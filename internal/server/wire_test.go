@@ -1,0 +1,236 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"invarnetx/internal/core"
+	"invarnetx/internal/metrics"
+	"invarnetx/internal/stats"
+)
+
+// maskedSamples builds wire samples with metric and CPI validity gaps for
+// codec tests: every third tick masks metric 1 (with the zero placeholder
+// collectors emit) and every fifth tick masks the CPI.
+func maskedSamples(rng *stats.RNG, n int) []Sample {
+	out := make([]Sample, n)
+	for t := 0; t < n; t++ {
+		row := make([]float64, metrics.Count)
+		for m := range row {
+			row[m] = rng.Uniform(0, 10)
+		}
+		s := Sample{Metrics: row, CPI: rng.Uniform(0.5, 2)}
+		if t%3 == 0 {
+			valid := make([]bool, metrics.Count)
+			for i := range valid {
+				valid[i] = true
+			}
+			valid[1] = false
+			row[1] = 0
+			s.Valid = valid
+		}
+		if t%5 == 0 {
+			f := false
+			s.CPIValid = &f
+			s.CPI = 0
+		}
+		out[t] = s
+	}
+	return out
+}
+
+// TestFrameRoundTrip pins the codec to the JSON path's semantics: decoding
+// an encoded frame must land in exactly the columnar batch fromSamples
+// builds from the same wire samples — values, maskValue placeholders and
+// validity flags bit for bit.
+func TestFrameRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		samples []Sample
+	}{
+		{"clean", testSamples(17)},
+		{"masked", maskedSamples(stats.NewRNG(42), 33)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			buf, err := EncodeFrame("sort", "10.1.2.3", tc.samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := splitFrame(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got ingestBatch
+			wb, nb, err := decodeFrame(body, &got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(wb) != "sort" || string(nb) != "10.1.2.3" {
+				t.Fatalf("identity %q@%q", wb, nb)
+			}
+			var want ingestBatch
+			want.fromSamples(tc.samples)
+			if got.n != want.n {
+				t.Fatalf("n = %d, want %d", got.n, want.n)
+			}
+			for i := range want.cols {
+				if math.Float64bits(got.cols[i]) != math.Float64bits(want.cols[i]) || got.valid[i] != want.valid[i] {
+					t.Fatalf("col entry %d: (%v,%v) != (%v,%v)",
+						i, got.cols[i], got.valid[i], want.cols[i], want.valid[i])
+				}
+			}
+			for i := range want.cpi {
+				if math.Float64bits(got.cpi[i]) != math.Float64bits(want.cpi[i]) || got.cpiOK[i] != want.cpiOK[i] {
+					t.Fatalf("cpi entry %d: (%v,%v) != (%v,%v)",
+						i, got.cpi[i], got.cpiOK[i], want.cpi[i], want.cpiOK[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMaskValueMatchesTracePolicy: the shared maskValue helper and the trace
+// builder agree on the gap policy — a masked zero placeholder becomes NaN, a
+// masked held value is kept (the mask alone flags it).
+func TestMaskValueMatchesTracePolicy(t *testing.T) {
+	samples := maskedSamples(stats.NewRNG(43), 30)
+	// Give one masked entry a held (non-zero) placeholder too.
+	samples[3].Metrics[1] = 7.5
+	tr, err := TraceFromSamples("sort", "10.1.2.3", samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b ingestBatch
+	b.fromSamples(samples)
+	for i, s := range samples {
+		for m := 0; m < metrics.Count; m++ {
+			traceV := tr.Rows[m][i]
+			colV := b.cols[m*b.n+i]
+			if math.Float64bits(traceV) != math.Float64bits(colV) {
+				t.Fatalf("sample %d metric %d: trace %v != columnar %v", i, m, traceV, colV)
+			}
+		}
+		want := maskValue(s.CPI, s.CPIValid == nil || *s.CPIValid)
+		if math.Float64bits(tr.CPI[i]) != math.Float64bits(want) ||
+			math.Float64bits(b.cpi[i]) != math.Float64bits(want) {
+			t.Fatalf("sample %d CPI: trace %v, columnar %v, want %v", i, tr.CPI[i], b.cpi[i], want)
+		}
+	}
+	if !math.IsNaN(b.cols[1*b.n+0]) {
+		t.Error("masked zero placeholder not NaN")
+	}
+	if b.cols[1*b.n+3] != 7.5 {
+		t.Errorf("masked held value rewritten to %v", b.cols[1*b.n+3])
+	}
+}
+
+// TestNonFiniteRejectedOnBothPaths: validity masks are the only sanctioned
+// gap channel. The JSON syntax cannot carry NaN, so validateSamples guards
+// hand-built batches and the encoder; a crafted binary frame is caught by
+// the decoder.
+func TestNonFiniteRejectedOnBothPaths(t *testing.T) {
+	bad := testSamples(4)
+	bad[2].Metrics[5] = math.NaN()
+	if err := validateSamples(bad); err == nil {
+		t.Fatal("validateSamples accepted a NaN metric")
+	}
+	if _, err := EncodeFrame("sort", "n1", bad); err == nil {
+		t.Fatal("EncodeFrame accepted a NaN metric")
+	}
+	badCPI := testSamples(4)
+	badCPI[1].CPI = math.Inf(1)
+	if err := validateSamples(badCPI); err == nil {
+		t.Fatal("validateSamples accepted an Inf CPI")
+	}
+
+	// Craft the frame the encoder refuses to build: encode clean samples,
+	// then patch a NaN into a metric column and into the CPI column.
+	clean := testSamples(4)
+	buf, err := EncodeFrame("sort", "n1", clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := splitFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patch := func(off int) []byte {
+		cp := append([]byte(nil), body...)
+		for i := 0; i < 8; i++ {
+			cp[off+i] = 0xff // quiet NaN
+		}
+		return cp
+	}
+	colsOff := frameHeaderLen + len("sort") + len("n1")
+	var b ingestBatch
+	if _, _, err := decodeFrame(patch(colsOff), &b); err == nil || !strings.Contains(err.Error(), "validity bitmaps") {
+		t.Fatalf("NaN metric column decoded: %v", err)
+	}
+	cpiOff := colsOff + metrics.Count*4*8
+	if _, _, err := decodeFrame(patch(cpiOff), &b); err == nil || !strings.Contains(err.Error(), "validity bitmaps") {
+		t.Fatalf("NaN CPI column decoded: %v", err)
+	}
+
+	// And the HTTP surface: the patched frame is a 400, not a panic or 202.
+	srv, _, err := New(Config{Core: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := append(append([]byte(nil), buf[:4]...), patch(colsOff)...)
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest", strings.NewReader(string(full)))
+	req.Header.Set("Content-Type", ContentTypeFrame)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("patched frame: status %d, body %s", rec.Code, rec.Body)
+	}
+}
+
+// TestDecodeFrameRejectsMalformed walks the decoder's error surface: every
+// malformed input must error out before any batch state is sized from the
+// header.
+func TestDecodeFrameRejectsMalformed(t *testing.T) {
+	good, err := EncodeFrame("sort", "n1", testSamples(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := splitFrame(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(cp []byte) []byte) []byte {
+		return f(append([]byte(nil), body...))
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     body[:frameHeaderLen-1],
+		"magic":     mutate(func(cp []byte) []byte { cp[0] = 'x'; return cp }),
+		"version":   mutate(func(cp []byte) []byte { cp[4] = 9; return cp }),
+		"flags":     mutate(func(cp []byte) []byte { cp[5] = 0x80; return cp }),
+		"zeroName":  mutate(func(cp []byte) []byte { cp[6] = 0; return cp }),
+		"badCount":  mutate(func(cp []byte) []byte { cp[8] = 0xff; return cp }),
+		"zeroN":     mutate(func(cp []byte) []byte { cp[10], cp[11], cp[12], cp[13] = 0, 0, 0, 0; return cp }),
+		"hugeN":     mutate(func(cp []byte) []byte { cp[10], cp[11], cp[12], cp[13] = 0xff, 0xff, 0xff, 0x7f; return cp }),
+		"truncated": body[:len(body)-5],
+		"padded":    append(append([]byte(nil), body...), 0),
+	}
+	for name, in := range cases {
+		var b ingestBatch
+		if _, _, err := decodeFrame(in, &b); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// The length prefix must account for the body exactly.
+	if _, err := splitFrame(good[:len(good)-1]); err == nil {
+		t.Error("splitFrame accepted a short body")
+	}
+	if _, err := splitFrame(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Error("splitFrame accepted a padded body")
+	}
+	if _, err := splitFrame([]byte{1, 2}); err == nil {
+		t.Error("splitFrame accepted a truncated prefix")
+	}
+}
