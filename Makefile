@@ -44,7 +44,7 @@ BENCH_COUNT ?= 3
 BENCH_TIME_THRESHOLD ?= 0.2
 BENCH_ALLOC_THRESHOLD ?= 0.1
 
-.PHONY: build test vet race check bench bench-compare smoke
+.PHONY: build test vet race check bench bench-compare smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,11 @@ check: test race smoke bench-compare
 
 smoke: build
 	$(GO) run ./cmd/invarnetd -smoke -smoke-seconds 3
+
+# Short coverage-guided run of the binary wire-decoder fuzzer; the seed
+# corpus alone (run by `make test`) only replays known shapes.
+fuzz: build
+	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s
 
 bench: build
 	@mkdir -p benchmarks

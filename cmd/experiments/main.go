@@ -8,7 +8,8 @@
 //	experiments -run fig8 -runs 40       # one experiment at paper scale
 //	experiments -run fig2,fig4,table1    # a comma-separated subset
 //
-// Experiments: fig2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 confusion.
+// Experiments: fig2 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 confusion
+// crossnode.
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "comma-separated experiments: fig2,fig4,fig5,fig6,fig7,fig8,fig9,fig10,table1,confusion,multifault,growth,contrast,all")
+		run   = flag.String("run", "all", "comma-separated experiments: fig2,fig4,fig5,fig6,fig7,fig8,fig9,fig10,table1,confusion,multifault,growth,contrast,crossnode,all")
 		runs  = flag.Int("runs", 0, "runs per fault for the diagnosis studies (default 40, the paper's count)")
 		seed  = flag.Int64("seed", 1, "experiment seed")
 		train = flag.Int("train", 0, "normal training runs per context (default 8)")
@@ -168,6 +169,19 @@ func main() {
 
 	step("contrast", func() error {
 		res, err := r.RunContrast(workload.Wordcount, 4)
+		if err != nil {
+			return err
+		}
+		res.Print(os.Stdout)
+		return nil
+	})
+
+	step("crossnode", func() error {
+		// Cross traffic changes the simulated telemetry, so the study gets
+		// its own runner rather than contaminating the paper-scale arms.
+		copts := r.Options()
+		copts.CrossTraffic = true
+		res, err := experiments.NewRunner(copts).RunCrossNodeStudy(workload.Sort)
 		if err != nil {
 			return err
 		}

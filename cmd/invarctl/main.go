@@ -384,8 +384,20 @@ func cmdProfiles(args []string) error {
 		}
 		return pstats[a].Context.IP < pstats[b].Context.IP
 	})
-	fmt.Printf("%d profiles:\n", len(pstats))
+	// Cross profiles (workload × node pair × stage) get their own section:
+	// the flat listing keeps the per-node view the command always had.
+	intra := 0
 	for _, st := range pstats {
+		if _, ok := core.ParseCrossContext(st.Context); ok {
+			continue
+		}
+		intra++
+	}
+	fmt.Printf("%d profiles:\n", intra)
+	for _, st := range pstats {
+		if _, ok := core.ParseCrossContext(st.Context); ok {
+			continue
+		}
 		model := "-"
 		if st.HasModel {
 			model = "arima"
@@ -393,6 +405,14 @@ func cmdProfiles(args []string) error {
 		fmt.Printf("  %-28s model %-5s  %3d invariants  %3d signatures  %2d monitors  cache %d/%d (%d entries)\n",
 			st.Context, model, st.Invariants, st.Signatures, st.Monitors,
 			st.Cache.Hits, st.Cache.Misses, st.Cache.Entries)
+	}
+	if cross := sys.CrossProfileStats(); len(cross) > 0 {
+		fmt.Printf("%d cross profiles (node pair x stage):\n", len(cross))
+		for _, cs := range cross {
+			fmt.Printf("  %-10s %s ~ %s  stage %-8s  %3d edges (%d quarantined)  %3d signatures\n",
+				cs.Key.Workload, cs.Key.NodeA, cs.Key.NodeB, cs.Key.Stage,
+				cs.Edges, cs.Quarantined, cs.Signatures)
+		}
 	}
 	return nil
 }
@@ -451,6 +471,10 @@ func cmdFaults() error {
 	}
 	fmt.Println("software-bug faults:")
 	for _, k := range faults.BugKinds() {
+		fmt.Printf("  %-10s %s\n", k, faults.Description(k))
+	}
+	fmt.Println("cross-node faults (spatio-temporal layer; see `experiments -run crossnode`):")
+	for _, k := range faults.CrossKinds() {
 		fmt.Printf("  %-10s %s\n", k, faults.Description(k))
 	}
 	return nil

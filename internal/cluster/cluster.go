@@ -17,6 +17,7 @@ type Cluster struct {
 	slaves []*Node
 	name   *NameNode
 	rng    *stats.RNG
+	seed   int64
 
 	tick      int
 	nextJobID int
@@ -31,6 +32,15 @@ type Cluster struct {
 	// Enabled by default, as in Hadoop 1.x.
 	SpeculativeExecution bool
 	speculativeLaunches  int
+
+	// CrossTraffic models the inter-node flows a real Hadoop deployment
+	// has and a per-node simulation can omit: shuffle serving (reducers
+	// pull map output from peer DataNodes, charged as transmit + disk
+	// read at the serving side) and replication forwarding (a fraction of
+	// each node's writes streams to its HDFS pipeline successor). These
+	// flows are what cross-node invariants mine; the flag is off by
+	// default so single-node studies stay bit-identical.
+	CrossTraffic bool
 }
 
 // New builds a cluster with nSlaves slave nodes (plus one master), with all
@@ -39,7 +49,7 @@ func New(nSlaves int, seed int64) *Cluster {
 	if nSlaves < 1 {
 		nSlaves = 1
 	}
-	c := &Cluster{rng: stats.NewRNG(seed), name: newNameNode(), SpeculativeExecution: true}
+	c := &Cluster{rng: stats.NewRNG(seed), seed: seed, name: newNameNode(), SpeculativeExecution: true}
 	c.master = newNode(0, RoleMaster, DefaultCaps())
 	c.Nodes = append(c.Nodes, c.master)
 	for i := 1; i <= nSlaves; i++ {
@@ -156,8 +166,9 @@ func (c *Cluster) Step() {
 	c.schedule(effects)
 	// 5. Resource accounting and task progress per node.
 	repairs := c.planRepairs()
+	cross := c.planCross(effects)
 	for _, n := range c.Nodes {
-		c.stepNode(n, effects[n.ID], repairs)
+		c.stepNode(n, effects[n.ID], repairs, cross)
 	}
 	// 6. Job completion.
 	c.reapJobs()
@@ -226,6 +237,8 @@ func (c *Cluster) schedule(effects map[int]*Effects) {
 	for _, j := range c.active {
 		if j.State == JobMapping && len(j.pendingMaps) == 0 && j.runningMaps() == 0 {
 			j.State = JobReducing
+			j.reduceStartTick = c.tick
+			j.shuffleTicks = shuffleJitter(c.seed, j.ID)
 		}
 	}
 	for _, n := range c.slaves {
@@ -400,6 +413,47 @@ func medianInt(xs []int) int {
 // SpeculativeLaunches reports how many backup copies the scheduler started.
 func (c *Cluster) SpeculativeLaunches() int { return c.speculativeLaunches }
 
+// shuffleJitter derives the shuffle-round length (in ticks) for a job from
+// the cluster seed and job ID alone. Using a hash instead of the cluster
+// RNG keeps the stage timeline from perturbing any existing random stream:
+// enabling stage tracking changes no simulated metric value. The result is
+// jittered across jobs and seeds but identical on replay (12–16 ticks, long
+// enough for a stage-scoped invariant window).
+func shuffleJitter(seed int64, jobID int) int {
+	h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(jobID)*0xbf58476d1ce4e5b9 + 0x632be59bd9b4e019
+	h ^= h >> 29
+	h *= 0x94d049bb133111eb
+	h ^= h >> 32
+	return 12 + int(h%5)
+}
+
+// CurrentStage returns the execution stage the cluster is in at the
+// current tick: the active batch job's map/shuffle/reduce stage (batch
+// jobs run FIFO-exclusively, so there is at most one), or — for purely
+// interactive traffic — the query phase with the most running tasks,
+// ties broken lexicographically for determinism. Empty when idle.
+func (c *Cluster) CurrentStage() string {
+	for _, j := range c.active {
+		if !j.Spec.Interactive {
+			return j.StageAt(c.tick)
+		}
+	}
+	best, bestVotes := "", 0
+	for _, j := range c.active {
+		if j.Spec.Phase == "" {
+			continue
+		}
+		votes := j.running + 1 // +1 so a just-submitted query still counts
+		switch {
+		case votes > bestVotes:
+			best, bestVotes = j.Spec.Phase, votes
+		case votes == bestVotes && best != "" && j.Spec.Phase < best:
+			best = j.Spec.Phase
+		}
+	}
+	return best
+}
+
 // repairWork is the per-node extra demand from block re-replication.
 type repairWork struct {
 	netOut map[int]float64 // srcID -> MB/s
@@ -422,8 +476,103 @@ func (c *Cluster) planRepairs() repairWork {
 	return rw
 }
 
+// crossWork is the per-node demand from inter-node flows (shuffle serving
+// and replication forwarding), keyed by node ID. The zero value (nil maps)
+// reads as zero everywhere, so disabling CrossTraffic costs nothing.
+type crossWork struct {
+	tx    map[int]float64 // transmit MB/s charged at the serving/forwarding node
+	rx    map[int]float64 // receive MB/s charged at the ingesting node
+	read  map[int]float64 // disk-read MB/s at the shuffle-serving node
+	write map[int]float64 // disk-write MB/s at the replication target
+}
+
+// Cross-traffic shape constants. shuffleServeScale converts a reducer's
+// inbound demand into the transmit work its peers perform (the remainder is
+// already on disk locally); replForwardFrac is the share of a node's write
+// stream forwarded to its HDFS pipeline successor.
+const (
+	shuffleServeScale = 0.65
+	replForwardFrac   = 0.35
+)
+
+// planCross computes this tick's inter-node flows on the slave ring. Each
+// reducer's pull is served mostly by the ring predecessor of its node (70%,
+// the rest split across other peers), charged as transmit plus disk read at
+// the server; each node forwards a fraction of its previous-tick write
+// stream to its ring successor as replication (transmit at the source,
+// receive + write at the target). Per-node Effects caps pin the served and
+// ingested rates — the flat signals the cross-node fault injectors rely on.
+func (c *Cluster) planCross(effects map[int]*Effects) crossWork {
+	var cw crossWork
+	if !c.CrossTraffic || len(c.slaves) < 2 {
+		return cw
+	}
+	nSlaves := len(c.slaves)
+	cw = crossWork{
+		tx:    make(map[int]float64, nSlaves),
+		rx:    make(map[int]float64, nSlaves),
+		read:  make(map[int]float64, nSlaves),
+		write: make(map[int]float64, nSlaves),
+	}
+	// Shuffle serving, driven by the reducers running right now.
+	serve := make(map[int]float64, nSlaves)
+	for i, b := range c.slaves {
+		for _, t := range b.reduces {
+			if t.cancelled {
+				continue
+			}
+			d := t.Spec.NominalSeconds
+			if d <= 0 {
+				d = 1
+			}
+			pull := (t.Spec.NetInMB / d) * t.blend * shuffleServeScale
+			pred := c.slaves[(i-1+nSlaves)%nSlaves]
+			if nSlaves == 2 {
+				serve[pred.ID] += pull
+				continue
+			}
+			serve[pred.ID] += 0.7 * pull
+			rest := 0.3 * pull / float64(nSlaves-2)
+			for j, s := range c.slaves {
+				if j == i || s == pred {
+					continue
+				}
+				serve[s.ID] += rest
+			}
+		}
+	}
+	for _, s := range c.slaves {
+		tx := serve[s.ID]
+		if tx == 0 {
+			continue
+		}
+		if lim := effects[s.ID].ShuffleServeCapMBps; lim > 0 && tx > lim {
+			tx = lim
+		}
+		cw.tx[s.ID] += tx
+		cw.read[s.ID] += 0.8 * tx
+	}
+	// Replication forwarding along the ring, from the previous tick's
+	// observed write stream (one tick of lag; the AR(1) activity process
+	// keeps adjacent ticks correlated, so the coupling survives).
+	for i, a := range c.slaves {
+		repl := replForwardFrac * a.State.DiskWriteMBps
+		if repl <= 0 {
+			continue
+		}
+		succ := c.slaves[(i+1)%nSlaves]
+		if lim := effects[succ.ID].ReplIngestCapMBps; lim > 0 && repl > lim {
+			repl = lim
+		}
+		cw.tx[a.ID] += repl
+		cw.rx[succ.ID] += repl
+		cw.write[succ.ID] += repl
+	}
+	return cw
+}
+
 // stepNode performs resource accounting and task progress for one node.
-func (c *Cluster) stepNode(n *Node, eff *Effects, repairs repairWork) {
+func (c *Cluster) stepNode(n *Node, eff *Effects, repairs repairWork, cross crossWork) {
 	st := NodeState{Tick: c.tick}
 
 	if eff.Suspend {
@@ -495,6 +644,8 @@ func (c *Cluster) stepNode(n *Node, eff *Effects, repairs repairWork) {
 	offered.Add(eff.Extra)
 	offered.NetMBps += repairs.netOut[n.ID]
 	offered.DiskMBps += repairs.write[n.ID]
+	offered.NetMBps += cross.tx[n.ID] + cross.rx[n.ID]
+	offered.DiskMBps += cross.read[n.ID] + cross.write[n.ID]
 	// Failed block writes retry through the whole pipeline: each failed
 	// packet costs its disk write and network hop again (Block-R).
 	if eff.WriteFailProb > 0 {
@@ -581,8 +732,10 @@ func (c *Cluster) stepNode(n *Node, eff *Effects, repairs repairWork) {
 	actual.Add(eff.Extra)
 	actual.CPU += taskDemand.CPU * lockstep
 	actual.DiskMBps += taskDemand.DiskMBps*lockstep + repairs.write[n.ID] + repairs.netOut[n.ID]
+	actual.DiskMBps += cross.read[n.ID] + cross.write[n.ID]
 	actual.DiskIOPS += taskDemand.DiskIOPS * lockstep
 	actual.NetMBps += taskDemand.NetMBps*lockstep + repairs.write[n.ID] + repairs.netOut[n.ID]
+	actual.NetMBps += cross.tx[n.ID] + cross.rx[n.ID]
 	actual.MemoryMB += taskDemand.MemoryMB
 	clip := func(v, cap float64) float64 {
 		if v > cap {
@@ -599,20 +752,23 @@ func (c *Cluster) stepNode(n *Node, eff *Effects, repairs repairWork) {
 	// Directional I/O as observed: the tasks' nominal rates scaled by
 	// their actual progress speed, plus re-replication repair traffic
 	// (reads and tx at the source, writes and rx at the destination).
-	st.DiskReadMBps = readRate*obsDisk + repairs.netOut[n.ID]
-	st.DiskWriteMBps = writeRate*obsDisk + repairs.write[n.ID]
-	st.NetTxMBps = txRate*obsNet + repairs.netOut[n.ID]
-	st.NetRxMBps = rxRate*obsNet + repairs.write[n.ID]
+	st.DiskReadMBps = readRate*obsDisk + repairs.netOut[n.ID] + cross.read[n.ID]
+	st.DiskWriteMBps = writeRate*obsDisk + repairs.write[n.ID] + cross.write[n.ID]
+	st.NetTxMBps = txRate*obsNet + repairs.netOut[n.ID] + cross.tx[n.ID]
+	st.NetRxMBps = rxRate*obsNet + repairs.write[n.ID] + cross.rx[n.ID]
 
-	// Advance tasks at the lockstep speed.
+	// Advance tasks at the lockstep speed. Reduce tasks additionally run
+	// at the per-kind factor: a partition-skew straggler progresses slower
+	// without any change in its per-tick resource shape.
 	var finishedNow int
-	advance := func(list []*Task) []*Task {
+	advance := func(list []*Task, kindSpeed float64) []*Task {
+		speed := lockstep * kindSpeed
 		keep := list[:0]
 		for _, t := range list {
 			r := t.Spec.rates().scale(t.blend)
-			t.cpuLeft -= r.CPU * lockstep * TickSeconds
-			t.diskLeft -= r.DiskMBps * lockstep * TickSeconds
-			t.netLeft -= r.NetMBps * lockstep * TickSeconds
+			t.cpuLeft -= r.CPU * speed * TickSeconds
+			t.diskLeft -= r.DiskMBps * speed * TickSeconds
+			t.netLeft -= r.NetMBps * speed * TickSeconds
 			if t.cpuLeft < 0 {
 				t.cpuLeft = 0
 			}
@@ -652,8 +808,8 @@ func (c *Cluster) stepNode(n *Node, eff *Effects, repairs repairWork) {
 		}
 		return keep
 	}
-	n.maps = advance(n.maps)
-	n.reduces = advance(n.reduces)
+	n.maps = advance(n.maps, 1)
+	n.reduces = advance(n.reduces, eff.ReduceSpeedFactor)
 
 	// Observable process-table state.
 	st.RunningMaps = len(n.maps)

@@ -135,6 +135,10 @@ type JobSpec struct {
 	// FIFO-exclusively, as Hadoop's default scheduler does (paper §2,
 	// Restrictions).
 	Interactive bool
+	// Phase labels the execution stage of interactive jobs (TPC-DS query
+	// classes: scan, join, aggregate). Batch jobs derive their stage from
+	// the scheduler state instead (map/shuffle/reduce via Job.StageAt).
+	Phase       string
 	MapTasks    []TaskSpec
 	ReduceTasks []TaskSpec
 	// InputMB sizes the HDFS input for block placement.
@@ -163,11 +167,21 @@ type Job struct {
 	mapDurations    []int
 	reduceDurations []int
 
+	// Stage timeline for batch jobs. reduceStartTick records when the
+	// scheduler flipped the job from mapping to reducing (-1 while
+	// mapping); the first shuffleTicks ticks of the reducing state model
+	// the shuffle round (reducers pulling map output across the network
+	// before the reduce proper). shuffleTicks is drawn deterministically
+	// from the cluster seed and job ID so the timeline is jittered per
+	// run but reproducible per seed.
+	reduceStartTick int
+	shuffleTicks    int
+
 	blocks []BlockID
 }
 
 func newJob(id int, spec JobSpec, tick int) *Job {
-	j := &Job{ID: id, Spec: spec, State: JobQueued, SubmitTick: tick, StartTick: -1, DoneTick: -1}
+	j := &Job{ID: id, Spec: spec, State: JobQueued, SubmitTick: tick, StartTick: -1, DoneTick: -1, reduceStartTick: -1}
 	for _, ts := range spec.MapTasks {
 		j.pendingMaps = append(j.pendingMaps, newTask(j, KindMap, ts))
 	}
@@ -180,6 +194,29 @@ func newJob(id int, spec JobSpec, tick int) *Job {
 
 // Done reports whether the job has completed.
 func (j *Job) Done() bool { return j.State == JobDone }
+
+// StageAt returns the execution stage the job was in at the given tick.
+// Interactive jobs report their declared query phase; batch jobs report
+// "map", "shuffle" or "reduce" from the scheduler timeline. The empty
+// string means the job was not running at that tick.
+func (j *Job) StageAt(tick int) string {
+	if j.Spec.Interactive {
+		return j.Spec.Phase
+	}
+	if j.StartTick < 0 || tick < j.StartTick {
+		return ""
+	}
+	if j.DoneTick >= 0 && tick > j.DoneTick {
+		return ""
+	}
+	if j.reduceStartTick < 0 || tick < j.reduceStartTick {
+		return "map"
+	}
+	if tick < j.reduceStartTick+j.shuffleTicks {
+		return "shuffle"
+	}
+	return "reduce"
+}
 
 // DurationTicks returns the ticks from start to completion, or -1 while
 // running.

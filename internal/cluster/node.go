@@ -258,6 +258,20 @@ type Effects struct {
 	// zero values mean "unset" and default to 1.
 	DiskSpeedFactor float64
 	NetSpeedFactor  float64
+	// ReduceSpeedFactor scales progress of reduce tasks only (zero unset
+	// → 1). A constant per-kind slowdown leaves every intra-node coupling
+	// intact — the node's metrics all scale together — which is what makes
+	// partition-skew stragglers invisible to single-node invariants.
+	ReduceSpeedFactor float64
+	// Cross-traffic caps (zero = unlimited), effective only when the
+	// cluster runs with CrossTraffic enabled. ShuffleServeCapMBps pins the
+	// node's shuffle-serving transmit rate; ReplIngestCapMBps pins the
+	// replication traffic the node accepts from its ring predecessor.
+	// Pinning (rather than scaling) matters: MIC is scale-invariant, so a
+	// proportional slowdown preserves ranks and stays invisible — a flat
+	// cap decouples the served flow from the peer's demand.
+	ShuffleServeCapMBps float64
+	ReplIngestCapMBps   float64
 	// Network health overrides.
 	AddRTTms    float64
 	DropRate    float64
@@ -302,6 +316,10 @@ func (e *Effects) ScaleNetSpeed(f float64) { mulFactor(&e.NetSpeedFactor, f) }
 // ScaleNetCap multiplies the effective NIC capacity (zero treated as 1).
 func (e *Effects) ScaleNetCap(f float64) { mulFactor(&e.NetCapScale, f) }
 
+// ScaleReduceSpeed multiplies the reduce-task progress factor (zero
+// treated as 1).
+func (e *Effects) ScaleReduceSpeed(f float64) { mulFactor(&e.ReduceSpeedFactor, f) }
+
 // normalize fills the multiplicative defaults of an Effects value.
 func (e *Effects) normalize() {
 	if e.TaskSpeedFactor == 0 {
@@ -315,5 +333,8 @@ func (e *Effects) normalize() {
 	}
 	if e.NetCapScale == 0 {
 		e.NetCapScale = 1
+	}
+	if e.ReduceSpeedFactor == 0 {
+		e.ReduceSpeedFactor = 1
 	}
 }

@@ -41,6 +41,12 @@ type Profile struct {
 	// health, quarantine and shadow generations. See lifecycle.go.
 	lc *lifecycle
 
+	// cross marks spatio-temporal profiles (context IP of the form
+	// "nodeA~nodeB#stage"): their windows are joint two-node traces, only
+	// node-spanning pairs survive selection, and pair names carry the node
+	// each metric lives on. Nil for ordinary intra-node profiles.
+	cross *crossScope
+
 	// Sparse-path edge telemetry (see SparseStats): how trained pairs were
 	// resolved across every sparse diagnosis of this profile.
 	sparseScreened atomic.Int64
@@ -60,6 +66,9 @@ func newProfile(s *System, key Context) *Profile {
 	}
 	if s.cfg.Lifecycle.Enabled {
 		p.lc = newLifecycle(s.cfg.Lifecycle)
+	}
+	if ck, ok := ParseCrossContext(key); ok {
+		p.cross = &crossScope{key: ck, k: len(CrossMetricIdx)}
 	}
 	return p
 }
@@ -129,6 +138,13 @@ func (p *Profile) trainInvariants(errCtx Context, runs []*metrics.Trace) error {
 	set, err := invariant.Select(mats, p.sys.cfg.Tau)
 	if err != nil {
 		return fmt.Errorf("core: invariant selection for %v: %w", errCtx, err)
+	}
+	if p.cross != nil {
+		// Cross profiles keep only the edges that span the two nodes:
+		// within-node pairs of the joint space duplicate the intra-node
+		// profiles' work and would dilute cross signatures with tuples the
+		// single-node layer already owns.
+		set = filterCrossPairs(set, p.cross.k)
 	}
 	p.mu.Lock()
 	p.invariants = set
@@ -370,7 +386,7 @@ func (p *Profile) diagnoseHinted(errCtx Context, abnormal *metrics.Trace, hint *
 	}
 	diag := &Diagnosis{Context: errCtx, Tuple: rep.Tuple, Known: rep.Known, Coverage: rep.Coverage}
 	for _, pr := range rep.Violated {
-		diag.Hints = append(diag.Hints, pairName(pr))
+		diag.Hints = append(diag.Hints, p.pairLabel(pr))
 	}
 	if rep.Known != nil {
 		// Name unknown pairs against the set the report was computed with,
@@ -384,7 +400,7 @@ func (p *Profile) diagnoseHinted(errCtx Context, abnormal *metrics.Trace, hint *
 		}
 		for k, ok := range rep.Known {
 			if !ok {
-				diag.Unknown = append(diag.Unknown, pairName(set.SortedPairs()[k]))
+				diag.Unknown = append(diag.Unknown, p.pairLabel(set.SortedPairs()[k]))
 			}
 		}
 	}

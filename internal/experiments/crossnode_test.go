@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"invarnetx/internal/workload"
+)
+
+// crossOptions sizes the cross-node study for tests: enough runs for a
+// stable tally, small enough to stay fast.
+func crossOptions() Options {
+	opts := tinyOptions()
+	opts.CrossTraffic = true
+	// A 12 GB sort gives the reduce phase enough waves that the shuffle
+	// stage clears the stage-window length; 6 GB jobs end inside it and
+	// train no shuffle-stage profiles.
+	opts.InputMB = 12 * 1024
+	opts.TrainRuns = 6
+	opts.RunsPerFault = 10
+	// Cross tuples come from 10-sample stage windows; a few extra
+	// investigated runs per kind keep the nearest-neighbour match sharp.
+	opts.SignatureRuns = 4
+	return opts
+}
+
+// TestCrossNodeStudy is the acceptance experiment of the spatio-temporal
+// layer: the three cross-node faults are detected on the victim, the intra
+// arm cannot localise them (its verdicts name the victim or nothing — the
+// culprit is another node for xlink/xrepl and no intra signature describes a
+// cross kind), and the cross arm pins (kind, culprit node, stage).
+func TestCrossNodeStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-node study is slow")
+	}
+	r := NewRunner(crossOptions())
+	study, err := r.RunCrossNodeStudy(workload.Sort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.TrainedProfiles == 0 || study.CrossEdges == 0 {
+		t.Fatalf("no cross profiles trained: %+v", study)
+	}
+	for _, row := range study.Rows {
+		t.Logf("%s: runs=%d alerts=%d crossCorrect=%d crossWrongNode=%d cross=%v intra=%v",
+			row.Fault, row.Runs, row.Alerts, row.CrossCorrect, row.CrossWrongNode, row.CrossVerdicts, row.IntraVerdicts)
+		if row.Alerts == 0 {
+			t.Errorf("%s: victim CPI monitor never fired", row.Fault)
+			continue
+		}
+		// The intra arm must never name the true (kind, culprit): for
+		// xlink/xrepl every victim-scoped verdict carries the wrong node,
+		// and no intra signature carries a cross kind.
+		if n := row.IntraVerdicts[string(row.Fault)+"@"+row.CulpritIP]; n > 0 {
+			t.Errorf("%s: intra arm localised a cross fault %d times", row.Fault, n)
+		}
+		// The cross arm localises the majority of alerted runs.
+		if 2*row.CrossCorrect < row.Alerts {
+			t.Errorf("%s: cross arm localised %d of %d alerts", row.Fault, row.CrossCorrect, row.Alerts)
+		}
+	}
+}

@@ -64,6 +64,11 @@ type Options struct {
 	InvariantStride int
 	// FloorScale scales the collector's absolute noise floors (default 1).
 	FloorScale float64
+	// CrossTraffic enables the simulator's inter-node shuffle-serving and
+	// replication flows — required by the cross-node fault study, off by
+	// default so the single-node corpus keeps its exact historical
+	// dynamics.
+	CrossTraffic bool
 	// RotateTargets moves the fault target across the slave nodes from
 	// run to run instead of always hitting slave 0. The Figs. 9/10
 	// comparison enables it: with heterogeneous nodes, per-context
@@ -155,8 +160,12 @@ func (r *Runner) Options() Options { return r.opts }
 type RunResult struct {
 	// Traces maps slave IP to its metric+CPI trace.
 	Traces map[string]*metrics.Trace
-	// TargetIP is the faulted node ("" for normal runs).
+	// TargetIP is the faulted node ("" for normal runs). For cross-node
+	// faults it is the victim — the node whose CPI degrades.
 	TargetIP string
+	// CulpritIP is the node carrying the root cause of a cross-node fault
+	// (the victim itself for partition skew); "" otherwise.
+	CulpritIP string
 	// Fault is the injected fault ("" for normal runs).
 	Fault faults.Kind
 	// Window is the fault window in run-relative ticks.
@@ -170,10 +179,14 @@ type RunResult struct {
 
 // newCluster builds the run's cluster.
 func (r *Runner) newCluster(runSeed int64) *cluster.Cluster {
+	var c *cluster.Cluster
 	if r.opts.Heterogeneous {
-		return cluster.NewHeterogeneous(r.opts.Slaves, runSeed)
+		c = cluster.NewHeterogeneous(r.opts.Slaves, runSeed)
+	} else {
+		c = cluster.New(r.opts.Slaves, runSeed)
 	}
-	return cluster.New(r.opts.Slaves, runSeed)
+	c.CrossTraffic = r.opts.CrossTraffic
+	return c
 }
 
 // runSeed derives a per-run seed from the experiment seed, a stream label
@@ -223,6 +236,49 @@ func (r *Runner) Run(w workload.Type, fault faults.Kind, idx int) (*RunResult, e
 	})
 }
 
+// RunCross executes one run with a cross-node fault: the culprit-side
+// perturbation lands on the node the simulator's ring topology makes
+// responsible for the victim's inter-node flows (the ring predecessor serves
+// the victim's shuffle pulls, the ring successor ingests its replication
+// stream), and the victim-side perturbation — the degradation the culprit
+// causes — lands on slave 0. Requires Options.CrossTraffic. The fault
+// window runs from FaultStart to the end of the run: a slow link or dragging
+// replica is a standing condition that only bites in the stages exercising
+// it, which is what scopes the alert to a stage.
+func (r *Runner) RunCross(w workload.Type, kind faults.Kind, idx int) (*RunResult, error) {
+	return r.execute(w, "cross/"+string(kind), idx, func(c *cluster.Cluster, rng *stats.RNG, res *RunResult) error {
+		slaves := c.Slaves()
+		if len(slaves) < 2 {
+			return fmt.Errorf("experiments: cross faults need at least 2 slaves")
+		}
+		victim := slaves[0]
+		var culprit *cluster.Node
+		switch kind {
+		case faults.XLink:
+			culprit = slaves[len(slaves)-1] // ring predecessor of the victim
+		case faults.XRepl:
+			culprit = slaves[1] // ring successor of the victim
+		case faults.XSkew:
+			culprit = victim // the straggler is its own root cause
+		default:
+			return fmt.Errorf("experiments: %q is not a cross-node fault", kind)
+		}
+		res.Fault = kind
+		res.TargetIP = victim.IP
+		res.CulpritIP = culprit.IP
+		res.Window = faults.Window{Start: r.opts.FaultStart, End: r.opts.MaxRunTicks}
+		ci, err := faults.NewCross(kind, res.Window, rng)
+		if err != nil {
+			return err
+		}
+		culprit.Attach(ci.Culprit())
+		if v := ci.Victim(); v != nil {
+			victim.Attach(v)
+		}
+		return nil
+	})
+}
+
 // runWithPerturbation executes a run with a custom perturbation (built from
 // the fault window) attached to every slave — used by the Fig. 2 benign
 // disturbance.
@@ -257,8 +313,10 @@ func (r *Runner) execute(w workload.Type, stream string, idx int, setup func(c *
 	}
 
 	observe := func(tick int) {
+		stage := c.CurrentStage()
 		for _, n := range c.Slaves() {
 			tr := res.Traces[n.IP]
+			tr.MarkStage(stage) // before Add: the mark covers this sample
 			if err := tr.Add(collector.Collect(n), sampler.Sample(n, string(w))); err != nil {
 				panic(err) // collector width is a programming invariant
 			}

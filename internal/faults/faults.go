@@ -67,6 +67,42 @@ const (
 	BlockReceiver Kind = "block-r"
 )
 
+// Cross-node faults: their signatures live in couplings *between* nodes,
+// so single-node invariants either miss them or blame the wrong node. They
+// are injected with NewCross (culprit + victim perturbation pair) and are
+// deliberately not part of Kinds(): the 14-fault single-node corpus and its
+// results stay exactly as they were.
+const (
+	// XLink is a shuffle slow link: the culprit node serves shuffle data
+	// at a pinned trickle, starving the reducers on the victim node. The
+	// victim's own metrics look like a network fault — on the wrong node.
+	XLink Kind = "xlink"
+	// XSkew is a partition-skew straggler: one node's reduce partitions
+	// are oversized, so its reduces run long after every peer drained.
+	// The slowdown is a constant factor — invisible to a scale-invariant
+	// association — and the signal is the straggler staying busy while
+	// peers idle, a purely cross-node pattern.
+	XSkew Kind = "xskew"
+	// XRepl is replication-pipeline disk drag: the culprit replica target
+	// ingests the victim writer's pipeline at a pinned trickle, and the
+	// back-pressure looks like a disk fault on the writer — again the
+	// wrong node.
+	XRepl Kind = "xrepl"
+)
+
+// CrossKinds returns the cross-node fault kinds.
+func CrossKinds() []Kind { return []Kind{XLink, XSkew, XRepl} }
+
+// IsCross reports whether k is a cross-node fault.
+func IsCross(k Kind) bool {
+	for _, kk := range CrossKinds() {
+		if kk == k {
+			return true
+		}
+	}
+	return false
+}
+
 // EnvironmentKinds returns the nine operational faults.
 func EnvironmentKinds() []Kind {
 	return []Kind{CPUHog, MemHog, DiskHog, NetDrop, NetDelay, BlockCorruption, Misconf, Overload, Suspend}
@@ -139,6 +175,12 @@ func Description(k Kind) string {
 		return "HADOOP-1970: communication thread interference"
 	case BlockReceiver:
 		return "BlockReceiver.receivePacket throws: write pipeline retries"
+	case XLink:
+		return "shuffle slow link: culprit serves shuffle at a trickle, peer reducers starve"
+	case XSkew:
+		return "partition skew: oversized reduce partitions straggle while peers drain"
+	case XRepl:
+		return "replication drag: culprit replica ingests the write pipeline at a trickle"
 	default:
 		return "unknown fault"
 	}
@@ -410,6 +452,134 @@ func (in *Injector) applyLockRace(rel int, eff *cluster.Effects) {
 	default: // global stop-the-world pauses at random instants
 		if in.rng.Bernoulli(0.5) {
 			eff.ScaleTaskSpeed(e.speed * 0.5)
+		}
+	}
+}
+
+// CrossInjector is a cross-node fault: a culprit-side and a victim-side
+// perturbation sharing one activation window. The culprit carries the root
+// cause (a pinned serving or ingest rate, an oversized partition); the
+// victim carries the observable degradation that trips the CPI monitor —
+// on a different node than the cause, which is exactly what single-node
+// diagnosis gets wrong. XLink and XRepl require the cluster to run with
+// CrossTraffic enabled (the caps act on the inter-node flows); XSkew has no
+// victim-side perturbation (culprit and victim are the same node).
+type CrossInjector struct {
+	kind   Kind
+	window Window
+	rng    *stats.RNG
+}
+
+// NewCross constructs a cross-node injector for kind, active during w.
+func NewCross(kind Kind, w Window, rng *stats.RNG) (*CrossInjector, error) {
+	if !IsCross(kind) {
+		return nil, fmt.Errorf("faults: %q is not a cross-node kind", kind)
+	}
+	return &CrossInjector{kind: kind, window: w, rng: rng.Fork(int64(len(kind)) + int64(w.Start)*37)}, nil
+}
+
+// Kind returns the injector's fault kind.
+func (ci *CrossInjector) Kind() Kind { return ci.kind }
+
+// Window returns the activation window.
+func (ci *CrossInjector) Window() Window { return ci.window }
+
+// Culprit returns the perturbation to attach to the culprit node.
+func (ci *CrossInjector) Culprit() cluster.Perturbation {
+	return &crossSide{ci: ci, victim: false}
+}
+
+// Victim returns the perturbation to attach to the victim node, or nil when
+// the fault has no victim-side component (XSkew).
+func (ci *CrossInjector) Victim() cluster.Perturbation {
+	if ci.kind == XSkew {
+		return nil
+	}
+	return &crossSide{ci: ci, victim: true}
+}
+
+// crossSide is one node's half of a cross fault.
+type crossSide struct {
+	ci     *CrossInjector
+	victim bool
+}
+
+// Name implements cluster.Perturbation.
+func (cs *crossSide) Name() string {
+	if cs.victim {
+		return string(cs.ci.kind) + "-victim"
+	}
+	return string(cs.ci.kind)
+}
+
+// Apply implements cluster.Perturbation.
+func (cs *crossSide) Apply(tick int, n *cluster.Node, eff *cluster.Effects) {
+	if !cs.ci.window.Active(tick) {
+		return
+	}
+	rel := tick - cs.ci.window.Start
+	rng := cs.ci.rng
+	switch cs.ci.kind {
+	case XLink:
+		if !cs.victim {
+			// The culprit's shuffle serving is pinned at a trickle and its
+			// NIC degraded: flat transmit regardless of the reducers'
+			// demand, and the node's whole network dimension saturating at
+			// a fraction of capacity. Pinning, not scaling — MIC is
+			// scale-invariant, so only the flat line breaks the
+			// tx@culprit ~ demand@peer couplings, and the clipped NIC
+			// flattens every flow through the culprit, not just the serve.
+			eff.ShuffleServeCapMBps = 0.4
+			eff.ScaleNetCap(0.25)
+			return
+		}
+		// The victim's reducers starve while shuffling: effective only when
+		// the node actually runs reduces, so the degradation — and the CPI
+		// alert — lands in the shuffle/reduce stage. To the victim's own
+		// metrics this reads as a network fault on the victim. Only the net
+		// dimension is scaled — rank-preserving, so the starved node does
+		// not itself look like a straggler.
+		if n.State.RunningReduces > 0 {
+			eff.ScaleNetSpeed(rng.Uniform(0.3, 0.5))
+			eff.AddRTTms += 60 + rng.Uniform(0, 40)
+			eff.AddRetrans += 15 + rng.Uniform(0, 10)
+		}
+
+	case XSkew:
+		// Oversized partitions: the node's reduces progress at a constant
+		// fraction of normal speed. No metric decouples locally — the same
+		// demand shape, longer — so single-node invariants stay silent.
+		eff.ScaleReduceSpeed(0.3)
+		// The oversized partition spills and re-sorts: compute pressure
+		// ramps as the merge deepens, eventually saturating the node enough
+		// to move CPI. Peers have long drained by then, which is the
+		// cross-node signature: a busy straggler against idle peers.
+		if n.State.RunningReduces > 0 {
+			ramp := float64(rel) / 8
+			if ramp > 1 {
+				ramp = 1
+			}
+			// Sized to the node: the spill must saturate whatever hardware
+			// the straggler runs on, or the stall never reaches CPI.
+			eff.Extra.CPU += ramp * n.Caps.CPUCores * (1.0 + rng.Uniform(0, 0.25))
+			eff.Extra.DiskMBps += ramp * n.Caps.DiskMBps * (0.5 + rng.Uniform(0, 0.15))
+		}
+
+	case XRepl:
+		if !cs.victim {
+			// The culprit replica target accepts the pipeline at a pinned
+			// trickle (dragging disk): flat ingest regardless of the
+			// writer's stream.
+			eff.ReplIngestCapMBps = 0.3
+			return
+		}
+		// The writer's pipeline acks stall: local writes appear slow while
+		// maps (the write-heavy phase of the simulated jobs) run. Locally
+		// indistinguishable from a disk fault on the writer.
+		if n.State.RunningMaps > 0 {
+			eff.ScaleDiskSpeed(rng.Uniform(0.35, 0.55))
+			eff.Extra.DiskIOPS += 60
+			eff.ScaleTaskSpeed(0.85)
 		}
 	}
 }

@@ -242,8 +242,26 @@ func (c *Collector) Collect(n *cluster.Node) []float64 {
 	return out
 }
 
+// StageMark is one timestamped stage boundary on a trace: the execution
+// stage that begins at sample index Start (map/shuffle/reduce for batch
+// workloads, query phases for TPC-DS). Marks are ordered by Start and the
+// stage runs until the next mark (or the end of the trace).
+type StageMark struct {
+	Stage string
+	Start int
+}
+
+// StageWindow is one stage occurrence resolved against a trace's length:
+// samples [Lo, Hi) belong to Stage.
+type StageWindow struct {
+	Stage  string
+	Lo, Hi int
+}
+
 // Trace accumulates per-tick metric vectors for one node over one run:
-// Trace[m][t] is metric m at tick t.
+// Trace[m][t] is metric m at tick t. Most traces carry the platform's
+// Count metrics, but a trace may be built at any width (NewTraceWidth) —
+// the joint two-node windows of the cross-node invariant layer are 2K-wide.
 //
 // A trace from a degraded telemetry path additionally carries validity
 // masks: Valid[m][t] is false when metric m at tick t is not a real
@@ -253,28 +271,43 @@ func (c *Collector) Collect(n *cluster.Node) []float64 {
 // nothing.
 type Trace struct {
 	NodeIP  string
-	Rows    [][]float64 // Count rows
+	Rows    [][]float64 // Width() rows (Count unless built otherwise)
 	CPI     []float64   // the parallel CPI series
 	Ticks   int
 	Context string // workload type of the run
 
-	Valid    [][]bool // nil, or Count rows parallel to Rows
+	Valid    [][]bool // nil, or Width() rows parallel to Rows
 	CPIValid []bool   // nil, or parallel to CPI
+
+	// Stages are the timestamped stage boundaries the simulator (or an
+	// ingest stream) annotated on the run, ordered by Start. Empty when the
+	// workload has no stage structure or the producer predates it.
+	Stages []StageMark
 }
 
-// NewTrace returns an empty trace for a node.
+// NewTrace returns an empty trace for a node at the platform metric width.
 func NewTrace(nodeIP, workloadType string) *Trace {
+	return NewTraceWidth(nodeIP, workloadType, Count)
+}
+
+// NewTraceWidth returns an empty trace with width metric rows. Width 0 is
+// rejected by Add, so callers must pick the platform Count or an explicit
+// joint width.
+func NewTraceWidth(nodeIP, workloadType string, width int) *Trace {
 	return &Trace{
 		NodeIP:  nodeIP,
-		Rows:    make([][]float64, Count),
+		Rows:    make([][]float64, width),
 		Context: workloadType,
 	}
 }
 
+// Width returns the number of metric rows the trace carries.
+func (t *Trace) Width() int { return len(t.Rows) }
+
 // Add appends one sampled vector (and its CPI reading) to the trace.
 func (t *Trace) Add(sample []float64, cpiValue float64) error {
-	if len(sample) != Count {
-		return fmt.Errorf("metrics: sample has %d entries, want %d", len(sample), Count)
+	if len(sample) != len(t.Rows) {
+		return fmt.Errorf("metrics: sample has %d entries, want %d", len(sample), len(t.Rows))
 	}
 	for m, v := range sample {
 		t.Rows[m] = append(t.Rows[m], v)
@@ -295,11 +328,11 @@ func (t *Trace) Add(sample []float64, cpiValue float64) error {
 // likewise for the CPI reading. The first masked Add materialises the masks
 // retroactively (all earlier samples were genuine).
 func (t *Trace) AddMasked(sample []float64, valid []bool, cpiValue float64, cpiValid bool) error {
-	if len(sample) != Count {
-		return fmt.Errorf("metrics: sample has %d entries, want %d", len(sample), Count)
+	if len(sample) != len(t.Rows) {
+		return fmt.Errorf("metrics: sample has %d entries, want %d", len(sample), len(t.Rows))
 	}
-	if len(valid) != Count {
-		return fmt.Errorf("metrics: mask has %d entries, want %d", len(valid), Count)
+	if len(valid) != len(t.Rows) {
+		return fmt.Errorf("metrics: mask has %d entries, want %d", len(valid), len(t.Rows))
 	}
 	t.materialiseMasks()
 	for m, v := range sample {
@@ -312,13 +345,62 @@ func (t *Trace) AddMasked(sample []float64, valid []bool, cpiValue float64, cpiV
 	return nil
 }
 
+// MarkStage records that the samples from the current length onward belong
+// to stage. Re-marking the current stage and empty stage names are no-ops,
+// so a producer can call it every tick with whatever the simulator reports.
+func (t *Trace) MarkStage(stage string) {
+	if stage == "" {
+		return
+	}
+	if n := len(t.Stages); n > 0 && t.Stages[n-1].Stage == stage {
+		return
+	}
+	t.Stages = append(t.Stages, StageMark{Stage: stage, Start: t.Ticks})
+}
+
+// StageAt returns the stage covering sample index i, or "" when i precedes
+// the first mark (or no marks exist).
+func (t *Trace) StageAt(i int) string {
+	stage := ""
+	for _, m := range t.Stages {
+		if m.Start > i {
+			break
+		}
+		stage = m.Stage
+	}
+	return stage
+}
+
+// StageWindows resolves the stage marks into half-open sample windows. The
+// windows partition [first mark, Ticks); samples before the first mark are
+// not covered (no stage was declared for them). Marks at or beyond the
+// trace length resolve to empty windows and are dropped.
+func (t *Trace) StageWindows() []StageWindow {
+	var out []StageWindow
+	for i, m := range t.Stages {
+		lo := m.Start
+		hi := t.Ticks
+		if i+1 < len(t.Stages) {
+			hi = t.Stages[i+1].Start
+		}
+		if hi > t.Ticks {
+			hi = t.Ticks
+		}
+		if lo >= hi {
+			continue
+		}
+		out = append(out, StageWindow{Stage: m.Stage, Lo: lo, Hi: hi})
+	}
+	return out
+}
+
 // materialiseMasks backfills all-true masks covering the samples recorded
 // before the first masked observation arrived.
 func (t *Trace) materialiseMasks() {
 	if t.Valid != nil {
 		return
 	}
-	t.Valid = make([][]bool, Count)
+	t.Valid = make([][]bool, len(t.Rows))
 	for m := range t.Valid {
 		t.Valid[m] = make([]bool, t.Ticks)
 		for i := range t.Valid[m] {
@@ -370,23 +452,101 @@ func (t *Trace) Metric(m int) []float64 { return t.Rows[m] }
 // Len returns the number of ticks recorded.
 func (t *Trace) Len() int { return t.Ticks }
 
-// Slice returns the sub-trace covering ticks [lo, hi).
+// Slice returns the sub-trace covering ticks [lo, hi). Stage marks are
+// clipped into the window: the stage active at lo (if any) is re-marked at
+// index 0, and later boundaries shift by -lo, so StageAt answers the same
+// stage for a sample whether asked of the run or of the window.
 func (t *Trace) Slice(lo, hi int) (*Trace, error) {
 	if lo < 0 || hi > t.Ticks || lo > hi {
 		return nil, fmt.Errorf("metrics: slice [%d,%d) out of range for %d ticks", lo, hi, t.Ticks)
 	}
-	out := NewTrace(t.NodeIP, t.Context)
+	out := NewTraceWidth(t.NodeIP, t.Context, len(t.Rows))
 	for m := range t.Rows {
 		out.Rows[m] = append([]float64(nil), t.Rows[m][lo:hi]...)
 	}
 	out.CPI = append([]float64(nil), t.CPI[lo:hi]...)
 	out.Ticks = hi - lo
 	if t.Valid != nil {
-		out.Valid = make([][]bool, Count)
+		out.Valid = make([][]bool, len(t.Rows))
 		for m := range t.Valid {
 			out.Valid[m] = append([]bool(nil), t.Valid[m][lo:hi]...)
 		}
 		out.CPIValid = append([]bool(nil), t.CPIValid[lo:hi]...)
 	}
+	for _, m := range t.Stages {
+		if m.Start >= hi {
+			break
+		}
+		start := m.Start - lo
+		if start < 0 {
+			start = 0 // stage already active at lo: re-mark at the window head
+		}
+		if n := len(out.Stages); n > 0 {
+			if out.Stages[n-1].Start == start {
+				out.Stages[n-1].Stage = m.Stage // later mark at same index wins
+				continue
+			}
+			if out.Stages[n-1].Stage == m.Stage {
+				continue
+			}
+		}
+		out.Stages = append(out.Stages, StageMark{Stage: m.Stage, Start: start})
+	}
 	return out, nil
+}
+
+// JoinTraces builds the joint two-node trace of the cross-node invariant
+// layer: for each index in idxs, row k carries metric idxs[k] of a and row
+// K+k the same metric of b (K = len(idxs)). Both traces must be equally
+// long; validity masks are preserved per side, and a joint mask is
+// materialised when either side carries one. The CPI column is a's (cross
+// edge sets train on rows only). Stage marks are taken from a — joint
+// windows are stage-aligned by construction, so both sides agree.
+func JoinTraces(a, b *Trace, idxs []int) (*Trace, error) {
+	if a.Ticks != b.Ticks {
+		return nil, fmt.Errorf("metrics: joining traces of %d and %d ticks", a.Ticks, b.Ticks)
+	}
+	k := len(idxs)
+	if k == 0 {
+		return nil, fmt.Errorf("metrics: joining zero metrics")
+	}
+	for _, m := range idxs {
+		if m < 0 || m >= len(a.Rows) || m >= len(b.Rows) {
+			return nil, fmt.Errorf("metrics: joint metric index %d out of range", m)
+		}
+	}
+	out := NewTraceWidth(a.NodeIP+"~"+b.NodeIP, a.Context, 2*k)
+	for i, m := range idxs {
+		out.Rows[i] = append([]float64(nil), a.Rows[m][:a.Ticks]...)
+		out.Rows[k+i] = append([]float64(nil), b.Rows[m][:b.Ticks]...)
+	}
+	out.CPI = append([]float64(nil), a.CPI...)
+	out.Ticks = a.Ticks
+	if a.Valid != nil || b.Valid != nil {
+		out.Valid = make([][]bool, 2*k)
+		for i, m := range idxs {
+			out.Valid[i] = joinMask(a.MetricValid(m), a.Ticks)
+			out.Valid[k+i] = joinMask(b.MetricValid(m), b.Ticks)
+		}
+		if a.CPIValid != nil {
+			out.CPIValid = append([]bool(nil), a.CPIValid...)
+		} else {
+			out.CPIValid = joinMask(nil, a.Ticks)
+		}
+	}
+	out.Stages = append([]StageMark(nil), a.Stages...)
+	return out, nil
+}
+
+// joinMask copies a validity row, or synthesises an all-true one of length n
+// when the side carried no mask.
+func joinMask(mask []bool, n int) []bool {
+	if mask != nil {
+		return append([]bool(nil), mask[:n]...)
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
 }

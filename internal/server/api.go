@@ -51,12 +51,25 @@ type Sample struct {
 	CPIValid *bool `json:"cpiValid,omitempty"`
 }
 
+// StageMark is an optional execution-stage marker on an ingest batch: the
+// stage label applies from the sample at Index onward (within the batch, and
+// carried forward into the stream's sliding window until the next mark),
+// mirroring metrics.Trace.MarkStage. Indices are batch-relative.
+type StageMark struct {
+	Stage string `json:"stage"`
+	Index int    `json:"index"`
+}
+
 // IngestRequest is one POST /v1/ingest body: a batch of consecutive samples
-// for one stream (one operation context).
+// for one stream (one operation context). Stages, when present, annotate the
+// batch with execution-stage boundaries; absent markers leave the stream's
+// stage state untouched, so mark-free ingest behaves exactly as before the
+// spatio-temporal layer existed.
 type IngestRequest struct {
-	Workload string   `json:"workload"`
-	Node     string   `json:"node"`
-	Samples  []Sample `json:"samples"`
+	Workload string      `json:"workload"`
+	Node     string      `json:"node"`
+	Samples  []Sample    `json:"samples"`
+	Stages   []StageMark `json:"stages,omitempty"`
 }
 
 // IngestResponse acknowledges an accepted batch. Acceptance means the
@@ -92,10 +105,15 @@ type Cause struct {
 	Score   float64 `json:"score"`
 }
 
-// Diagnosis is the wire form of core.Diagnosis.
+// Diagnosis is the wire form of core.Diagnosis. For spatio-temporal (cross)
+// profiles — context node of the form "a~b#stage" — the verdict is localised:
+// Stage carries the execution stage and Culprit the node the root-cause label
+// names, so a caller reads (node, stage) without parsing context strings.
 type Diagnosis struct {
 	Workload   string   `json:"workload"`
 	Node       string   `json:"node"`
+	Stage      string   `json:"stage,omitempty"`
+	Culprit    string   `json:"culprit,omitempty"`
 	Tuple      string   `json:"tuple"` // 0/1 string over the sorted invariant pairs
 	Invariants int      `json:"invariants"`
 	Violations int      `json:"violations"`
@@ -146,6 +164,14 @@ type ProfileInfo struct {
 	CacheHits   int64  `json:"cacheHits"`
 	CacheMisses int64  `json:"cacheMisses"`
 
+	// Spatio-temporal profiles (node of the form "a~b#stage") additionally
+	// surface their scope, so operators can read per-stage cross-node edge
+	// counts (Invariants) and quarantine state (QuarantinedEdges) per pair.
+	Cross bool   `json:"cross,omitempty"`
+	NodeA string `json:"nodeA,omitempty"`
+	NodeB string `json:"nodeB,omitempty"`
+	Stage string `json:"stage,omitempty"`
+
 	// Drift-lifecycle state of the profile's model (all zero when the
 	// lifecycle is disabled): live generation, quarantined edge count,
 	// oldest shadow candidate age, and promotion/rollback tallies.
@@ -195,12 +221,42 @@ func validateSamples(samples []Sample) error {
 		}
 		for m, v := range s.Metrics {
 			if !isFinite(v) {
-				return fmt.Errorf("server: sample %d metric %d is %v (gaps ride validity masks, not non-finite values)", i, m, v)
+				return badValueError(m, i, v)
 			}
 		}
 		if !isFinite(s.CPI) {
-			return fmt.Errorf("server: sample %d CPI is %v (gaps ride validity masks, not non-finite values)", i, s.CPI)
+			return fmt.Errorf("server: cpi at sample %d is %v (gaps ride validity masks, not non-finite values)", i, s.CPI)
 		}
+	}
+	return nil
+}
+
+// badValueError is the shared rejection for a non-finite metric entry: it
+// names the offending metric — index and name — and the sample offset within
+// the batch, and both ingest encodings go through it, so a JSON batch and a
+// binary frame smuggling the same bad value fail identically.
+func badValueError(metric, sample int, v float64) error {
+	return fmt.Errorf("server: metric %d (%s) at sample %d is %v (gaps ride validity masks, not non-finite values)",
+		metric, metrics.Names[metric], sample, v)
+}
+
+// validateStageMarks checks a batch's stage markers: every index must land in
+// [0, n) and the marks must be sorted by strictly increasing index (one label
+// per boundary tick), with non-empty labels short enough for the binary
+// frame's u8 length field.
+func validateStageMarks(marks []StageMark, n int) error {
+	prev := -1
+	for i, m := range marks {
+		if m.Stage == "" || len(m.Stage) > 255 {
+			return fmt.Errorf("server: stage mark %d label length %d outside [1,255]", i, len(m.Stage))
+		}
+		if m.Index < 0 || m.Index >= n {
+			return fmt.Errorf("server: stage mark %d index %d outside the %d-sample batch", i, m.Index, n)
+		}
+		if m.Index <= prev {
+			return fmt.Errorf("server: stage mark %d index %d not strictly increasing", i, m.Index)
+		}
+		prev = m.Index
 	}
 	return nil
 }
@@ -280,6 +336,15 @@ func diagnosisWire(ctx core.Context, d *core.Diagnosis, invariants int) *Diagnos
 	}
 	for _, c := range d.Causes {
 		out.Causes = append(out.Causes, Cause{Problem: c.Problem, Score: c.Score})
+	}
+	if key, ok := core.ParseCrossContext(ctx); ok {
+		// Spatio-temporal profile: surface the (node, stage) localisation
+		// alongside the raw context, per the cross signature labelling
+		// convention ("kind@culprit").
+		out.Stage = key.Stage
+		if cause := d.RootCause(); cause != "" {
+			_, out.Culprit = core.SplitCulprit(cause)
+		}
 	}
 	return out
 }

@@ -317,8 +317,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := validateStageMarks(req.Stages, len(req.Samples)); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	b := getBatch()
-	b.fromSamples(req.Samples)
+	b.fromSamples(req.Samples, req.Stages)
 	s.admitBatch(w, req.Workload, req.Node, b)
 }
 
@@ -503,7 +507,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleProfiles(w http.ResponseWriter, _ *http.Request) {
 	infos := make(map[core.Context]*ProfileInfo)
 	for _, ps := range s.sys.ProfileStats() {
-		infos[ps.Context] = &ProfileInfo{
+		info := &ProfileInfo{
 			Workload:    ps.Context.Workload,
 			Node:        ps.Context.IP,
 			HasModel:    ps.HasModel,
@@ -520,6 +524,11 @@ func (s *Server) handleProfiles(w http.ResponseWriter, _ *http.Request) {
 			Promotions:       ps.Lifecycle.Promotions,
 			Rollbacks:        ps.Lifecycle.Rollbacks,
 		}
+		if key, ok := core.ParseCrossContext(ps.Context); ok {
+			info.Cross = true
+			info.NodeA, info.NodeB, info.Stage = key.NodeA, key.NodeB, key.Stage
+		}
+		infos[ps.Context] = info
 	}
 	s.mu.RLock()
 	for ctx, st := range s.streams {
@@ -644,6 +653,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		sigEarlyRate = float64(sigEarly) / float64(sigScanned)
 	}
 	lc := s.sys.LifecycleStats()
+	cross := s.sys.CrossStats()
 	h := &s.ctr.diagnoseLatency
 	writeJSON(w, http.StatusOK, Stats{
 		UptimeSec:     time.Since(s.start).Seconds(),
@@ -688,6 +698,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		LifecycleObserved: lc.Observed,
 		Promotions:        lc.Promotions,
 		Rollbacks:         lc.Rollbacks,
+
+		CrossProfiles:   cross.Profiles,
+		CrossEdges:      cross.Edges,
+		CrossQuarantine: cross.Quarantined,
+		CrossSignatures: cross.Signatures,
 
 		DiagnoseLatency: LatencySummary{
 			Count:  h.total.Load(),

@@ -155,5 +155,14 @@ type Stats struct {
 	Promotions        int64  `json:"promotions"`
 	Rollbacks         int64  `json:"rollbacks"`
 
+	// Cross-node aggregates: stage-scoped cross profiles (one per
+	// workload × node pair × stage), their trained cross edges, how many of
+	// those edges sit in quarantine, and cross signatures learned. All zero
+	// when no cross-node training has happened.
+	CrossProfiles   int `json:"crossProfiles"`
+	CrossEdges      int `json:"crossEdges"`
+	CrossQuarantine int `json:"crossQuarantinedEdges"`
+	CrossSignatures int `json:"crossSignatures"`
+
 	DiagnoseLatency LatencySummary `json:"diagnoseLatency"`
 }

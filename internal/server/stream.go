@@ -27,6 +27,10 @@ type ingestBatch struct {
 	valid []bool    // metrics.Count * n, same layout
 	cpi   []float64 // n
 	cpiOK []bool    // n
+	// stages holds the per-tick execution-stage label expanded from the
+	// batch's stage markers; "" means unmarked (before the batch's first
+	// mark), which inherits the stream's current stage at slide time.
+	stages []string // n
 }
 
 // ensure sizes the batch for n samples, growing the backing arrays only when
@@ -42,14 +46,31 @@ func (b *ingestBatch) ensure(n int) {
 	if cap(b.cpi) < n {
 		b.cpi = make([]float64, n)
 		b.cpiOK = make([]bool, n)
+		b.stages = make([]string, n)
 	}
 	b.cpi = b.cpi[:n]
 	b.cpiOK = b.cpiOK[:n]
+	b.stages = b.stages[:n]
 }
 
-// fromSamples converts validated wire samples into columnar form, applying
-// maskValue once at the boundary.
-func (b *ingestBatch) fromSamples(samples []Sample) {
+// setStages expands validated stage marks into the per-tick label column:
+// each mark's label covers its index onward until the next mark; ticks before
+// the first mark stay "" (unmarked). Pooled batches carry stale labels, so
+// the whole column is rewritten even for mark-free batches.
+func (b *ingestBatch) setStages(marks []StageMark) {
+	cur, next := "", 0
+	for i := 0; i < b.n; i++ {
+		for next < len(marks) && marks[next].Index == i {
+			cur = marks[next].Stage
+			next++
+		}
+		b.stages[i] = cur
+	}
+}
+
+// fromSamples converts validated wire samples and stage marks into columnar
+// form, applying maskValue once at the boundary.
+func (b *ingestBatch) fromSamples(samples []Sample, marks []StageMark) {
 	n := len(samples)
 	b.ensure(n)
 	for i, s := range samples {
@@ -62,6 +83,7 @@ func (b *ingestBatch) fromSamples(samples []Sample) {
 		b.cpi[i] = maskValue(s.CPI, ok)
 		b.cpiOK[i] = ok
 	}
+	b.setStages(marks)
 }
 
 // batchPool recycles ingestBatch column buffers across requests and
@@ -82,6 +104,10 @@ type colWindow struct {
 	valid  []bool
 	cpi    []float64
 	cpiOK  []bool
+	// stages is the per-tick execution-stage label, sliding with the data.
+	// Unmarked ticks inherit the newest windowed label at slide time, so a
+	// stage spanning many batches stays attached to every sample it covers.
+	stages []string
 }
 
 func (w *colWindow) init(capacity int) {
@@ -90,11 +116,22 @@ func (w *colWindow) init(capacity int) {
 	w.valid = make([]bool, metrics.Count*capacity)
 	w.cpi = make([]float64, capacity)
 	w.cpiOK = make([]bool, capacity)
+	w.stages = make([]string, capacity)
 }
 
 // slide appends one batch, evicting the oldest ticks beyond capacity. A
 // batch at least as long as the window replaces it with the batch's tail.
 func (w *colWindow) slide(b *ingestBatch) {
+	// Resolve the batch's unmarked prefix against the stream's current
+	// stage before any eviction: stage labels carry forward across batch
+	// boundaries exactly as a trace mark persists until the next mark.
+	cur := ""
+	if w.n > 0 {
+		cur = w.stages[w.n-1]
+	}
+	for i := 0; i < b.n && b.stages[i] == ""; i++ {
+		b.stages[i] = cur
+	}
 	if b.n >= w.cap {
 		off := b.n - w.cap
 		for m := 0; m < metrics.Count; m++ {
@@ -103,6 +140,7 @@ func (w *colWindow) slide(b *ingestBatch) {
 		}
 		copy(w.cpi, b.cpi[off:])
 		copy(w.cpiOK, b.cpiOK[off:])
+		copy(w.stages, b.stages[off:])
 		w.n = w.cap
 		return
 	}
@@ -115,6 +153,7 @@ func (w *colWindow) slide(b *ingestBatch) {
 		}
 		copy(w.cpi[:w.n], w.cpi[over:w.n])
 		copy(w.cpiOK[:w.n], w.cpiOK[over:w.n])
+		copy(w.stages[:w.n], w.stages[over:w.n])
 		w.n -= over
 	}
 	for m := 0; m < metrics.Count; m++ {
@@ -123,6 +162,7 @@ func (w *colWindow) slide(b *ingestBatch) {
 	}
 	copy(w.cpi[w.n:w.n+b.n], b.cpi)
 	copy(w.cpiOK[w.n:w.n+b.n], b.cpiOK)
+	copy(w.stages[w.n:w.n+b.n], b.stages)
 	w.n += b.n
 }
 
@@ -293,6 +333,12 @@ func (st *stream) windowTrace() (*metrics.Trace, error) {
 		valid = make([]bool, metrics.Count)
 	}
 	for i := 0; i < w.n; i++ {
+		// Re-emit stage boundaries as trace marks before the covering
+		// sample; MarkStage dedupes consecutive identical labels, so a
+		// stage spanning many ticks yields one mark.
+		if w.stages[i] != "" {
+			tr.MarkStage(w.stages[i])
+		}
 		for m := 0; m < metrics.Count; m++ {
 			row[m] = w.cols[m*w.cap+i]
 		}

@@ -26,6 +26,17 @@ func FuzzDecodeFrame(f *testing.F) {
 	seed(testSamples(1))
 	seed(testSamples(11))
 	seed(maskedSamples(stats.NewRNG(77), 9))
+	// A staged frame exercises the optional stage-marker section.
+	staged, err := EncodeFrameStages("sort", "10.0.0.1", testSamples(7),
+		[]StageMark{{Stage: "map", Index: 0}, {Stage: "shuffle", Index: 4}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	stagedBody, err := splitFrame(staged)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(stagedBody)
 	// Truncated and corrupted variants of a valid frame.
 	good, err := EncodeFrame("wc", "n2", testSamples(3))
 	if err != nil {
@@ -59,6 +70,14 @@ func FuzzDecodeFrame(f *testing.F) {
 			len(b.valid) != metrics.Count*b.n || len(b.cpiOK) != b.n {
 			t.Fatalf("inconsistent batch shape: n=%d cols=%d valid=%d cpi=%d cpiOK=%d",
 				b.n, len(b.cols), len(b.valid), len(b.cpi), len(b.cpiOK))
+		}
+		if len(b.stages) != b.n {
+			t.Fatalf("stage column %d entries for %d samples", len(b.stages), b.n)
+		}
+		for _, s := range b.stages {
+			if len(s) > 255 {
+				t.Fatalf("stage label %d bytes exceeds the u8 wire bound", len(s))
+			}
 		}
 	})
 }

@@ -72,7 +72,7 @@ func TestFrameRoundTrip(t *testing.T) {
 				t.Fatalf("identity %q@%q", wb, nb)
 			}
 			var want ingestBatch
-			want.fromSamples(tc.samples)
+			want.fromSamples(tc.samples, nil)
 			if got.n != want.n {
 				t.Fatalf("n = %d, want %d", got.n, want.n)
 			}
@@ -104,7 +104,7 @@ func TestMaskValueMatchesTracePolicy(t *testing.T) {
 		t.Fatal(err)
 	}
 	var b ingestBatch
-	b.fromSamples(samples)
+	b.fromSamples(samples, nil)
 	for i, s := range samples {
 		for m := 0; m < metrics.Count; m++ {
 			traceV := tr.Rows[m][i]
@@ -166,11 +166,11 @@ func TestNonFiniteRejectedOnBothPaths(t *testing.T) {
 	}
 	colsOff := frameHeaderLen + len("sort") + len("n1")
 	var b ingestBatch
-	if _, _, err := decodeFrame(patch(colsOff), &b); err == nil || !strings.Contains(err.Error(), "validity bitmaps") {
+	if _, _, err := decodeFrame(patch(colsOff), &b); err == nil || !strings.Contains(err.Error(), "not non-finite values") {
 		t.Fatalf("NaN metric column decoded: %v", err)
 	}
 	cpiOff := colsOff + metrics.Count*4*8
-	if _, _, err := decodeFrame(patch(cpiOff), &b); err == nil || !strings.Contains(err.Error(), "validity bitmaps") {
+	if _, _, err := decodeFrame(patch(cpiOff), &b); err == nil || !strings.Contains(err.Error(), "not non-finite values") {
 		t.Fatalf("NaN CPI column decoded: %v", err)
 	}
 
