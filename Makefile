@@ -9,7 +9,11 @@
 #   make smoke         — boot invarnetd on an ephemeral port, run the load
 #                        generator against the live socket, assert /healthz
 #                        and /v1/stats sanity, drain and persist cleanly
-#   make check         — all tiers: test, race, smoke, bench comparison
+#   make fleet-smoke   — boot a 3-peer federation on loopback, label a
+#                        distinct fault on each peer, assert gossip
+#                        convergence, cross-peer diagnosis from the replica,
+#                        and ownership rebalance after killing one peer
+#   make check         — all tiers: test, race, smokes, bench comparison
 #
 # The race tier exists because the core is concurrent by design (striped
 # profile registry, supervised monitor goroutines, parallel association
@@ -44,7 +48,7 @@ BENCH_COUNT ?= 3
 BENCH_TIME_THRESHOLD ?= 0.2
 BENCH_ALLOC_THRESHOLD ?= 0.1
 
-.PHONY: build test vet race check bench bench-compare smoke fuzz
+.PHONY: build test vet race check bench bench-compare smoke fleet-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -58,10 +62,13 @@ vet:
 race: vet
 	$(GO) test -race ./...
 
-check: test race smoke bench-compare
+check: test race smoke fleet-smoke bench-compare
 
 smoke: build
 	$(GO) run ./cmd/invarnetd -smoke -smoke-seconds 3
+
+fleet-smoke: build
+	$(GO) run ./cmd/invarnetd -fleet-smoke
 
 # Short coverage-guided run of the binary wire-decoder fuzzer; the seed
 # corpus alone (run by `make test`) only replays known shapes.

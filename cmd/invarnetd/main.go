@@ -29,10 +29,12 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux, served only by -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"invarnetx/internal/core"
+	"invarnetx/internal/fleet"
 	"invarnetx/internal/metrics"
 	"invarnetx/internal/server"
 	"invarnetx/internal/server/client"
@@ -55,8 +57,14 @@ func main() {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on graceful shutdown: queue drain, worker join and persistence start within this budget even if a worker is wedged")
 	lifecycle := fs.Bool("lifecycle", false, "enable the drift-aware invariant lifecycle (edge health, quarantine, shadow-generation promotion)")
 	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on this address (e.g. 127.0.0.1:6060); empty = off")
+	peers := fs.String("peers", "", "comma-separated peer addresses (host:port each) to federate with; empty = no fleet")
+	fleetAddr := fs.String("fleet-addr", "", "address this daemon advertises to peers (default: 127.0.0.1 + -addr port)")
+	fleetForward := fs.Bool("fleet-forward", false, "proxy diagnose requests for contexts owned by another peer to that peer (default: answer from the local replica)")
+	fleetHeartbeat := fs.Duration("fleet-heartbeat", fleet.DefaultHeartbeat, "peer liveness probe interval (jittered)")
+	fleetSync := fs.Duration("fleet-sync", fleet.DefaultSyncInterval, "anti-entropy exchange interval (jittered)")
 	smoke := fs.Bool("smoke", false, "run the self-test against a live socket and exit")
 	smokeSecs := fs.Float64("smoke-seconds", 3, "load duration in -smoke mode")
+	fleetSmoke := fs.Bool("fleet-smoke", false, "run the 3-peer federation self-test and exit")
 	fs.Parse(os.Args[1:])
 
 	// -drain-timeout supersedes the old seconds-valued -drain; the legacy
@@ -84,6 +92,40 @@ func main() {
 		ReportCap: *reports,
 	}
 	cfg.Core.Lifecycle.Enabled = *lifecycle
+
+	if *peers != "" {
+		self := *fleetAddr
+		if self == "" {
+			// A bare ":8080" listen address advertises as loopback — right
+			// for the local quickstart; multi-host fleets set -fleet-addr.
+			self = *addr
+			if strings.HasPrefix(self, ":") {
+				self = "127.0.0.1" + self
+			}
+		}
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" && p != self {
+				list = append(list, p)
+			}
+		}
+		cfg.Fleet = &fleet.Config{
+			Self:         self,
+			Peers:        list,
+			Heartbeat:    *fleetHeartbeat,
+			SyncInterval: *fleetSync,
+			Forward:      *fleetForward,
+			Logf:         log.Printf,
+		}
+	}
+
+	if *fleetSmoke {
+		if err := runFleetSmoke(cfg); err != nil {
+			log.Fatalf("fleet-smoke: FAIL: %v", err)
+		}
+		fmt.Println("fleet-smoke: OK")
+		return
+	}
 
 	if *smoke {
 		if err := runSmoke(cfg, *smokeSecs); err != nil {
@@ -156,6 +198,13 @@ func serve(cfg server.Config, opts serveOptions) error {
 			opts.addr, eff.Workers, eff.QueueCap, eff.WindowCap)
 		errc <- httpSrv.ListenAndServe()
 	}()
+
+	// The fleet loops start after the listener goroutine: peers probing back
+	// reach a socket that answers, so boot does not cost this daemon misses.
+	if f := srv.Fleet(); f != nil {
+		log.Printf("fleet: advertising %s to %d peers (forward=%v)", f.Self(), len(f.Peers()), f.Forward())
+		srv.StartFleet()
+	}
 
 	var tcpLn net.Listener
 	tcpDone := make(chan struct{})

@@ -284,8 +284,12 @@ func (s *System) LoadFrom(dir string) (*LoadReport, error) {
 				continue
 			}
 			for _, entry := range db.Entries() {
-				s.Profile(loadedCtx(entry.Workload, entry.IP)).addSignature(entry)
-				rep.Signatures++
+				// Merge, not append: a store holding both a legacy combined
+				// signatures.xml and per-profile files must not double-load
+				// the overlap.
+				if s.Profile(loadedCtx(entry.Workload, entry.IP)).mergeSignature(entry) {
+					rep.Signatures++
+				}
 			}
 		}
 	}

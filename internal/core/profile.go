@@ -303,26 +303,34 @@ func (p *Profile) violationsDense(set *invariant.Set, abnormal *metrics.Trace) (
 // the profile's signature entries: "Once the performance problem is
 // resolved, a new signature will be added into the signature base."
 func (p *Profile) BuildSignature(problem string, abnormal *metrics.Trace) error {
-	return p.buildSignature(p.key, problem, abnormal)
+	_, _, err := p.buildSignature(p.key, problem, abnormal)
+	return err
 }
 
-func (p *Profile) buildSignature(errCtx Context, problem string, abnormal *metrics.Trace) error {
+// buildSignature computes and merges the signature, returning the stored
+// entry and whether it was new. Storage is idempotent by (context,
+// fingerprint): re-labelling the same investigated problem — a retried POST,
+// a re-run study — must not inflate the database and skew best-match scans.
+func (p *Profile) buildSignature(errCtx Context, problem string, abnormal *metrics.Trace) (signature.Entry, bool, error) {
 	rep, err := p.violations(errCtx, abnormal)
 	if err != nil {
-		return err
+		return signature.Entry{}, false, err
 	}
 	entry := signature.Entry{Tuple: rep.Tuple, Problem: problem, IP: p.key.IP, Workload: p.key.Workload}
 	p.mu.Lock()
-	p.sigs.Add(entry)
+	added := p.sigs.Merge(entry)
 	p.mu.Unlock()
-	return nil
+	return entry, added, nil
 }
 
-// addSignature stores an already-built entry (used by LoadFrom).
-func (p *Profile) addSignature(e signature.Entry) {
+// mergeSignature stores an already-built entry unless an identical one is
+// present (used by LoadFrom and fleet anti-entropy), reporting whether the
+// entry was added.
+func (p *Profile) mergeSignature(e signature.Entry) bool {
 	p.mu.Lock()
-	p.sigs.Add(e)
+	added := p.sigs.Merge(e)
 	p.mu.Unlock()
+	return added
 }
 
 // setDetector installs a loaded detector (used by LoadFrom).

@@ -302,8 +302,11 @@ func TestSignatureSnapshotIsolated(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	if got := s.SignatureCount(); got != 1+4*5 {
-		t.Errorf("signature count %d, want %d", got, 1+4*5)
+	// Each goroutine labelled the same (problem, window) 5 times; storage is
+	// idempotent by (context, fingerprint), so exactly one entry per distinct
+	// problem survives alongside the seed entry.
+	if got := s.SignatureCount(); got != 1+4 {
+		t.Errorf("signature count %d, want %d", got, 1+4)
 	}
 }
 

@@ -410,11 +410,29 @@ func traceDegraded(tr *metrics.Trace) bool {
 // the signature database: "Once the performance problem is resolved, a new
 // signature will be added into the signature base."
 func (s *System) BuildSignature(ctx Context, problem string, abnormal *metrics.Trace) error {
+	_, _, err := s.BuildSignatureEntry(ctx, problem, abnormal)
+	return err
+}
+
+// BuildSignatureEntry is BuildSignature returning the stored entry and
+// whether it was new (false when an identical signature — same context, same
+// (problem, tuple) fingerprint — was already present). The serving layer uses
+// the entry to replicate freshly learned signatures to fleet peers.
+func (s *System) BuildSignatureEntry(ctx Context, problem string, abnormal *metrics.Trace) (signature.Entry, bool, error) {
 	p, ok := s.lookup(ctx)
 	if !ok {
-		return fmt.Errorf("%w: %v", ErrNoInvariants, ctx)
+		return signature.Entry{}, false, fmt.Errorf("%w: %v", ErrNoInvariants, ctx)
 	}
 	return p.buildSignature(ctx, problem, abnormal)
+}
+
+// MergeSignature routes an already-built entry to the profile its context
+// names (created on first use) and stores it unless an identical one is
+// present. This is the apply path for signatures learned elsewhere — fleet
+// anti-entropy deltas, offline imports — and it reports whether the entry
+// was new.
+func (s *System) MergeSignature(e signature.Entry) bool {
+	return s.Profile(loadedCtx(e.Workload, e.IP)).mergeSignature(e)
 }
 
 // SignatureCount returns the number of stored signatures across profiles.

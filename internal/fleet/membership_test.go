@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func testClock() func() time.Time {
+	t0 := time.Unix(1700000000, 0)
+	return func() time.Time { return t0 }
+}
+
+func TestMembershipSuspectDeadTransitions(t *testing.T) {
+	m := newMembership("self:1", []string{"p:1"}, 2, 5, testClock())
+	if st := m.fail("p:1", errors.New("refused")); st != Alive {
+		t.Fatalf("after 1 miss: %v, want alive", st)
+	}
+	if st := m.fail("p:1", nil); st != Suspect {
+		t.Fatalf("after 2 misses: %v, want suspect", st)
+	}
+	// Suspect peers stay in the ring and keep getting gossiped with.
+	if targets := m.gossipTargets(); len(targets) != 1 {
+		t.Fatalf("suspect peer dropped from gossip: %v", targets)
+	}
+	for i := 0; i < 3; i++ {
+		m.fail("p:1", nil)
+	}
+	alive, suspect, dead := m.counts()
+	if alive != 0 || suspect != 0 || dead != 1 {
+		t.Fatalf("counts = %d/%d/%d, want 0/0/1", alive, suspect, dead)
+	}
+	// Dead peers leave gossip but stay probed for resurrection.
+	if targets := m.gossipTargets(); len(targets) != 0 {
+		t.Errorf("dead peer still gossiped: %v", targets)
+	}
+	if targets := m.probeTargets(); len(targets) != 1 {
+		t.Errorf("dead peer not probed: %v", targets)
+	}
+	// The dead peer's contexts rebalance to self.
+	if addr, mine := m.owner("wc", "n1"); !mine || addr != "self:1" {
+		t.Errorf("owner after death = %q (mine=%v), want self", addr, mine)
+	}
+}
+
+func TestMembershipResurrectionViaObserve(t *testing.T) {
+	m := newMembership("self:1", []string{"p:1"}, 2, 3, testClock())
+	for i := 0; i < 3; i++ {
+		m.fail("p:1", errors.New("down"))
+	}
+	if _, _, dead := m.counts(); dead != 1 {
+		t.Fatal("setup: peer not dead")
+	}
+	if !m.observe("p:1") {
+		t.Fatal("observe of dead peer reported no change")
+	}
+	alive, _, _ := m.counts()
+	if alive != 1 {
+		t.Fatalf("alive = %d after resurrection", alive)
+	}
+	// Misses reset: one new failure must not re-kill it.
+	if st := m.fail("p:1", nil); st != Alive {
+		t.Errorf("state after single post-resurrection miss = %v", st)
+	}
+}
+
+func TestMembershipUnknownSenderJoins(t *testing.T) {
+	m := newMembership("self:1", nil, 2, 5, testClock())
+	if !m.observe("new:1") {
+		t.Fatal("first sight of unknown peer reported no change")
+	}
+	if targets := m.gossipTargets(); len(targets) != 1 || targets[0] != "new:1" {
+		t.Fatalf("gossip targets = %v", targets)
+	}
+	// Self and empty addresses never join.
+	if m.observe("self:1") || m.observe("") {
+		t.Error("self or empty address joined the peer set")
+	}
+	snap := m.snapshot()
+	if len(snap) != 1 || snap[0].Addr != "new:1" || snap[0].State != "alive" {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap[0].LastSeenSec != 0 {
+		t.Errorf("lastSeenSec = %v, want 0 under frozen clock", snap[0].LastSeenSec)
+	}
+}

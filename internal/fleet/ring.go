@@ -1,0 +1,90 @@
+package fleet
+
+import "sort"
+
+// ringVnodes is the number of virtual points each member contributes. 64
+// points per member keeps the ownership split within a few percent of even
+// for the single-digit fleets this targets, at negligible build cost (the
+// ring rebuilds only on membership transitions).
+const ringVnodes = 64
+
+// fnv1a is the 64-bit FNV-1a hash used for both ring points and context
+// keys. It matches the registry's shard hash idiom: cheap, deterministic
+// across processes (every peer must agree on ownership), no seeding. Raw
+// FNV-1a mixes poorly on the short inputs ring points use (a few bytes of
+// address plus a vnode counter), leaving members with lopsided arcs, so the
+// output passes through a splitmix64-style finalizer for full avalanche.
+func fnv1a(parts ...string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime64
+		}
+		h ^= 0xff // separator: ("ab","c") must not collide with ("a","bc")
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// ring is a consistent-hash ring over the fleet's live members. Ownership
+// of an operation context moves only when membership changes, and a death
+// reassigns only the dead member's arcs — the property that makes ownership
+// rebalance cheap and deterministic across the fleet.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// buildRing places every member at ringVnodes jittered points. Members must
+// be the same set (in any order) on every peer for ownership to agree;
+// static bootstrap plus the shared dead-peer rule provides that.
+func buildRing(members []string) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(members)*ringVnodes)}
+	var vn [4]byte
+	for _, m := range members {
+		for v := 0; v < ringVnodes; v++ {
+			vn[0], vn[1], vn[2], vn[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			r.points = append(r.points, ringPoint{hash: fnv1a(m, string(vn[:])), addr: m})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (vanishingly rare) break by address so every peer still
+		// agrees on the winner.
+		return r.points[a].addr < r.points[b].addr
+	})
+	return r
+}
+
+// owner returns the member owning key: the first ring point at or after the
+// key's hash, wrapping at the top. Empty rings own nothing.
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := fnv1a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].addr
+}
+
+// contextKey is the ring key of an operation context.
+func contextKey(workload, node string) string { return workload + "@" + node }

@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnershipDeterministic(t *testing.T) {
+	// Every peer builds its ring from the same member set (sorted), so any
+	// permutation must agree on every key.
+	a := buildRing([]string{"a:1", "b:1", "c:1"})
+	b := buildRing([]string{"c:1", "a:1", "b:1"})
+	for i := 0; i < 200; i++ {
+		key := contextKey(fmt.Sprintf("wl%d", i), fmt.Sprintf("node-%d", i%7))
+		if oa, ob := a.owner(key), b.owner(key); oa != ob {
+			t.Fatalf("key %q: owner %q vs %q across build orders", key, oa, ob)
+		}
+	}
+}
+
+func TestRingDeathMovesOnlyDeadArcs(t *testing.T) {
+	full := buildRing([]string{"a:1", "b:1", "c:1"})
+	without := buildRing([]string{"a:1", "c:1"})
+	moved, kept := 0, 0
+	for i := 0; i < 500; i++ {
+		key := contextKey(fmt.Sprintf("wl%d", i), "node")
+		before := full.owner(key)
+		after := without.owner(key)
+		if before == "b:1" {
+			if after == "b:1" {
+				t.Fatalf("key %q still owned by removed member", key)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved from %q to %q though its owner survived", key, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestRingSpreadIsReasonable(t *testing.T) {
+	r := buildRing([]string{"a:1", "b:1", "c:1"})
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for addr, c := range counts {
+		// With 64 vnodes each member should land well within 2x of fair share.
+		if c < n/6 || c > n/2 {
+			t.Errorf("member %s owns %d of %d keys — spread too skewed", addr, c, n)
+		}
+	}
+	if len(counts) != 3 {
+		t.Errorf("only %d members received keys", len(counts))
+	}
+}
+
+func TestRingSingleAndEmpty(t *testing.T) {
+	solo := buildRing([]string{"only:1"})
+	if got := solo.owner("anything"); got != "only:1" {
+		t.Errorf("single-member ring owner = %q", got)
+	}
+	empty := buildRing(nil)
+	if got := empty.owner("anything"); got != "" {
+		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"invarnetx/internal/fleet"
+	"invarnetx/internal/signature"
+	"invarnetx/internal/xmlstore"
+)
+
+// forwardClient carries forwarded diagnose requests peer-to-peer. Bounded
+// independently of the caller's patience: a wedged owner must fail the
+// forward (and feed the liveness state machine) rather than pin the request.
+var forwardClient = &http.Client{Timeout: 30 * time.Second}
+
+// fleetStateFile is the persisted anti-entropy state inside StoreDir: this
+// daemon's origin identity, its next sequence number, the per-peer version
+// vector and the replicated record log. A restart restores it so the first
+// sync round after boot diffs incrementally instead of refetching the fleet.
+const fleetStateFile = "fleet-state.xml"
+
+// ForwardedHeader marks a diagnose request that already crossed the fleet
+// once. The owner answers it locally no matter what the ring says — without
+// the marker, two peers with momentarily divergent membership views could
+// forward a request back and forth.
+const ForwardedHeader = "X-Invarnet-Forwarded"
+
+// initFleet builds the peer subsystem from cfg.Fleet: installs the replicated
+// signature applier, restores persisted anti-entropy state from StoreDir, and
+// mounts the gossip surface plus GET /v1/peers. Loops stay stopped until
+// StartFleet — tests and the smoke harness step rounds manually.
+func (s *Server) initFleet(fcfg fleet.Config) {
+	fcfg.Apply = func(r fleet.Record) bool {
+		t, err := signature.ParseTuple(r.Tuple)
+		if err != nil {
+			return false
+		}
+		return s.sys.MergeSignature(signature.Entry{
+			Tuple: t, Problem: r.Problem, IP: r.Node, Workload: r.Workload,
+		})
+	}
+	s.fleet = fleet.New(fcfg)
+	if s.cfg.StoreDir != "" {
+		s.restoreFleetState()
+	}
+	s.mux.Handle("/v1/fleet/", http.StripPrefix("/v1/fleet", s.fleet.Handler()))
+	s.mux.HandleFunc("GET /v1/peers", s.handlePeers)
+}
+
+// restoreFleetState loads fleet-state.xml, if present and intact. Damage or
+// an identity change (the operator re-advertised the daemon under a new
+// address) means a cold fleet boot: the first anti-entropy round refetches,
+// which is correct, just not incremental.
+func (s *Server) restoreFleetState() {
+	var f xmlstore.FleetFile
+	path := filepath.Join(s.cfg.StoreDir, fleetStateFile)
+	if err := xmlstore.LoadFile(path, &f); err != nil {
+		return // missing on cold boot; unreadable means refetch
+	}
+	if err := f.Validate(); err != nil || f.Self != s.fleet.Self() {
+		return
+	}
+	s.fleet.InstallRestored(s.fleet.Store().Restore(&f))
+}
+
+// Fleet returns the peer subsystem, nil when federation is disabled.
+func (s *Server) Fleet() *fleet.Fleet { return s.fleet }
+
+// StartFleet launches the heartbeat and anti-entropy loops. The daemon calls
+// this once its HTTP listener is accepting, so peers probing back during
+// boot do not count misses against a socket that is not up yet. No-op when
+// federation is disabled.
+func (s *Server) StartFleet() {
+	if s.fleet != nil {
+		s.fleet.Start()
+	}
+}
+
+// stopFleet is the drain-time counterpart: stop the loops, then flush — one
+// final push-pull with every reachable peer — so signatures this daemon
+// accepted but had not yet gossiped survive its exit. The anti-entropy state
+// persists afterwards so the flush's vector advances land on disk too.
+func (s *Server) stopFleet(ctx context.Context) error {
+	if s.fleet == nil {
+		return nil
+	}
+	s.fleet.Stop(ctx)
+	if s.cfg.StoreDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.StoreDir, 0o755); err != nil {
+		return err
+	}
+	return xmlstore.SaveFile(filepath.Join(s.cfg.StoreDir, fleetStateFile), s.fleet.Store().File())
+}
+
+// PeersResponse is the GET /v1/peers payload.
+type PeersResponse struct {
+	Self    string           `json:"self"`
+	Forward bool             `json:"forward"`
+	Count   int              `json:"count"`
+	Peers   []fleet.PeerInfo `json:"peers"`
+}
+
+func (s *Server) handlePeers(w http.ResponseWriter, _ *http.Request) {
+	peers := s.fleet.Peers()
+	writeJSON(w, http.StatusOK, PeersResponse{
+		Self:    s.fleet.Self(),
+		Forward: s.fleet.Forward(),
+		Count:   len(peers),
+		Peers:   peers,
+	})
+}
+
+// maybeForwardDiagnose routes a diagnose request for a context this daemon
+// does not own. Under -fleet-forward the request proxies to the owner (with
+// the forwarded marker, so membership disagreement cannot loop it); without
+// the flag, or when the owner is unreachable, the local gossip-built replica
+// answers — availability over freshness, and the failure still feeds the
+// liveness state machine. Returns true when the response was already written.
+func (s *Server) maybeForwardDiagnose(w http.ResponseWriter, r *http.Request, req *DiagnoseRequest) bool {
+	if s.fleet == nil || !s.fleet.Forward() || r.Header.Get(ForwardedHeader) != "" {
+		return false
+	}
+	addr, self := s.fleet.Owner(req.Workload, req.Node)
+	if self || addr == "" {
+		return false
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false
+	}
+	url := "http://" + addr + "/v1/diagnose"
+	preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set(ForwardedHeader, s.fleet.Self())
+	resp, err := forwardClient.Do(preq)
+	if err != nil {
+		s.fleet.ReportFailure(addr, err)
+		return false
+	}
+	defer resp.Body.Close()
+	s.ctr.diagnoseForwarded.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}

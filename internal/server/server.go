@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"invarnetx/internal/core"
+	"invarnetx/internal/fleet"
 	"invarnetx/internal/metrics"
+	"invarnetx/internal/signature"
 )
 
 // Defaults and clamps for the serving configuration.
@@ -60,6 +62,11 @@ type Config struct {
 	WindowCap int
 	// ReportCap bounds retained reports (default DefaultReportCap).
 	ReportCap int
+	// Fleet, when set, federates this daemon with the configured peers:
+	// gossip-replicated signatures, heartbeat liveness and consistent-hash
+	// ownership of operation contexts. The serving layer owns the Apply hook;
+	// any value set there is replaced.
+	Fleet *fleet.Config
 }
 
 // withDefaults normalises and clamps the serving knobs.
@@ -97,6 +104,7 @@ type Server struct {
 	store *reportStore
 	ctr   counters
 	mux   *http.ServeMux
+	fleet *fleet.Fleet // nil when federation is disabled
 	start time.Time
 
 	// useSliders enables per-stream incremental MIC preparation: only when
@@ -155,6 +163,9 @@ func New(cfg Config) (*Server, *core.LoadReport, error) {
 	s.mux.HandleFunc("POST /v1/signatures", s.handleSignaturesPost)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.Fleet != nil {
+		s.initFleet(*cfg.Fleet)
+	}
 	return s, rep, nil
 }
 
@@ -225,6 +236,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			if s.shutErr == nil {
 				s.shutErr = fmt.Errorf("server: worker join aborted: %w", ctx.Err())
 			}
+		}
+		// The fleet drains after the queues: signatures accepted during the
+		// drain land in the store first, then the final flush gossips them
+		// out, then the anti-entropy state persists.
+		if err := s.stopFleet(ctx); err != nil && s.shutErr == nil {
+			s.shutErr = fmt.Errorf("server: persisting fleet state: %w", err)
 		}
 		if s.cfg.StoreDir != "" {
 			if err := s.sys.SaveTo(s.cfg.StoreDir); err != nil && s.shutErr == nil {
@@ -409,6 +426,9 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+	}
+	if s.maybeForwardDiagnose(w, r, &req) {
+		return
 	}
 	ctx := core.Context{Workload: req.Workload, IP: req.Node}
 	st := s.stream(ctx)
@@ -603,15 +623,21 @@ func (s *Server) handleSignaturesPost(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := core.Context{Workload: req.Workload, IP: req.Node}
 	st := s.stream(ctx)
-	done := make(chan error, 1)
+	type sigResult struct {
+		entry signature.Entry
+		added bool
+		err   error
+	}
+	done := make(chan sigResult, 1)
 	samples := req.Samples
 	err := s.sched.enqueue(st.queue, func() {
 		tr, err := s.traceFor(st, samples)
 		if err != nil {
-			done <- err
+			done <- sigResult{err: err}
 			return
 		}
-		done <- s.sys.BuildSignature(ctx, req.Problem, tr)
+		entry, added, err := s.sys.BuildSignatureEntry(ctx, req.Problem, tr)
+		done <- sigResult{entry: entry, added: added, err: err}
 	})
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) {
@@ -624,13 +650,25 @@ func (s *Server) handleSignaturesPost(w http.ResponseWriter, r *http.Request) {
 	}
 	// Labelling is rare and must confirm durability-in-memory, so the
 	// handler waits for the queued task (still admission-controlled above).
-	if err := <-done; err != nil {
-		s.fail(w, statusFor(err), "building signature: %v", err)
+	res := <-done
+	if res.err != nil {
+		s.fail(w, statusFor(res.err), "building signature: %v", res.err)
 		return
 	}
-	s.ctr.signaturesPost.Add(1)
-	writeJSON(w, http.StatusCreated, map[string]string{
-		"status":   "stored",
+	// Idempotent storage: re-labelling a known (context, fingerprint) is
+	// acknowledged without inflating the base — or the gossip log. Only a
+	// genuinely new signature replicates to the fleet.
+	status, code := "stored", http.StatusCreated
+	if res.added {
+		s.ctr.signaturesPost.Add(1)
+		if s.fleet != nil {
+			s.fleet.Record(req.Workload, req.Node, req.Problem, res.entry.Tuple.String())
+		}
+	} else {
+		status, code = "duplicate", http.StatusOK
+	}
+	writeJSON(w, code, map[string]string{
+		"status":   status,
 		"problem":  req.Problem,
 		"workload": req.Workload,
 		"node":     req.Node,
@@ -654,6 +692,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	lc := s.sys.LifecycleStats()
 	cross := s.sys.CrossStats()
+	var fleetStats *fleet.Stats
+	if s.fleet != nil {
+		fs := s.fleet.Stats()
+		fleetStats = &fs
+	}
 	h := &s.ctr.diagnoseLatency
 	writeJSON(w, http.StatusOK, Stats{
 		UptimeSec:     time.Since(s.start).Seconds(),
@@ -703,6 +746,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		CrossEdges:      cross.Edges,
 		CrossQuarantine: cross.Quarantined,
 		CrossSignatures: cross.Signatures,
+
+		DiagnoseForwarded: s.ctr.diagnoseForwarded.Load(),
+		Fleet:             fleetStats,
 
 		DiagnoseLatency: LatencySummary{
 			Count:  h.total.Load(),

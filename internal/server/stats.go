@@ -3,6 +3,8 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"invarnetx/internal/fleet"
 )
 
 // latencyBucketsMS are the fixed upper bounds (milliseconds) of the diagnose
@@ -87,6 +89,8 @@ type counters struct {
 	reportsFailed  atomic.Int64
 	signaturesPost atomic.Int64 // signatures labelled over the wire
 
+	diagnoseForwarded atomic.Int64 // diagnose requests proxied to their owner
+
 	diagnoseLatency histogram
 }
 
@@ -163,6 +167,14 @@ type Stats struct {
 	CrossEdges      int `json:"crossEdges"`
 	CrossQuarantine int `json:"crossQuarantinedEdges"`
 	CrossSignatures int `json:"crossSignatures"`
+
+	// Fleet federation: diagnose requests proxied to their ring owner, and
+	// the peer subsystem's own counters (membership states, log length,
+	// anti-entropy rounds, records shipped/applied/deduplicated, and the
+	// rounds elapsed since replication last moved a record — the convergence
+	// signal). Fleet is nil when federation is disabled.
+	DiagnoseForwarded int64        `json:"diagnoseForwarded"`
+	Fleet             *fleet.Stats `json:"fleet,omitempty"`
 
 	DiagnoseLatency LatencySummary `json:"diagnoseLatency"`
 }

@@ -174,6 +174,47 @@ type Entry struct {
 	Workload string // workload type of the operation context
 }
 
+// Fingerprint identifies the entry's payload within its operation context:
+// FNV-1a over the problem name and the violation tuple. Two entries with the
+// same (workload, ip, fingerprint) carry the same diagnostic knowledge, which
+// is the merge key both the wire-labelling path and the fleet anti-entropy
+// layer dedupe on.
+func (e Entry) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(e.Problem); i++ {
+		h ^= uint64(e.Problem[i])
+		h *= prime64
+	}
+	h ^= 0xff // separator: ("ab", tuple "c") must not collide with ("a", "bc")
+	h *= prime64
+	for _, v := range e.Tuple {
+		b := uint64('0')
+		if v {
+			b = '1'
+		}
+		h ^= b
+		h *= prime64
+	}
+	return h
+}
+
+// mergeKey is the full dedup identity of an entry: the operation context plus
+// the payload fingerprint. Fingerprint collisions across different payloads
+// are theoretically possible but would only suppress one redundant store;
+// they can never corrupt existing entries.
+type mergeKey struct {
+	workload, ip string
+	fp           uint64
+}
+
+func (e Entry) key() mergeKey {
+	return mergeKey{workload: e.Workload, ip: e.IP, fp: e.Fingerprint()}
+}
+
 // Match is a retrieved signature with its similarity score.
 type Match struct {
 	Entry
@@ -184,6 +225,9 @@ type Match struct {
 type DB struct {
 	entries []Entry
 	packs   []packed // bitset form of each entry's tuple, parallel to entries
+	// index dedupes entries by (context, fingerprint) for Merge; maintained
+	// by Add and rebuilt by Prune.
+	index map[mergeKey]struct{}
 	// MinScore is the minimum similarity for a match to be reported
 	// (default 0: report everything, ranked).
 	MinScore float64
@@ -214,6 +258,24 @@ func (db *DB) Add(e Entry) {
 		Workload: e.Workload,
 	})
 	db.packs = append(db.packs, pack(e.Tuple))
+	if db.index == nil {
+		db.index = make(map[mergeKey]struct{})
+	}
+	db.index[e.key()] = struct{}{}
+}
+
+// Merge stores a signature unless an identical one — same operation context,
+// same (problem, tuple) fingerprint — is already present, and reports whether
+// the entry was added. This is the idempotent primitive behind both wire
+// labelling (a retried POST /v1/signatures must not inflate the database and
+// skew best-match scans) and fleet anti-entropy (the same entry arriving via
+// two gossip paths merges to one copy).
+func (db *DB) Merge(e Entry) bool {
+	if _, dup := db.index[e.key()]; dup {
+		return false
+	}
+	db.Add(e)
+	return true
 }
 
 // Len returns the number of stored signatures.
@@ -391,8 +453,10 @@ func (db *DB) Prune(measure Measure, threshold float64) (removed int, err error)
 	}
 	db.entries = kept
 	db.packs = db.packs[:0]
+	db.index = make(map[mergeKey]struct{}, len(kept))
 	for _, e := range kept {
 		db.packs = append(db.packs, pack(e.Tuple))
+		db.index[e.key()] = struct{}{}
 	}
 	return removed, nil
 }

@@ -260,3 +260,69 @@ func TestPruneKeepsAllWhenDistinct(t *testing.T) {
 		t.Errorf("removed=%d len=%d", removed, db.Len())
 	}
 }
+
+func TestMergeDedupesByContextAndFingerprint(t *testing.T) {
+	var db DB
+	e := Entry{Tuple: tup("0110"), Problem: "cpu-hog", IP: "n1", Workload: "wordcount"}
+	if !db.Merge(e) {
+		t.Fatal("first Merge should add")
+	}
+	if db.Merge(e) {
+		t.Error("identical Merge should dedupe")
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", db.Len())
+	}
+	// Same payload under a different operation context is a distinct entry.
+	other := e
+	other.IP = "n2"
+	if !db.Merge(other) {
+		t.Error("same payload, different context should add")
+	}
+	// Different payload under the same context is a distinct entry.
+	diff := e
+	diff.Tuple = tup("1110")
+	if !db.Merge(diff) {
+		t.Error("different tuple should add")
+	}
+	diffProblem := e
+	diffProblem.Problem = "mem-hog"
+	if !db.Merge(diffProblem) {
+		t.Error("different problem should add")
+	}
+	if db.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", db.Len())
+	}
+}
+
+func TestMergeSurvivesCloneAndPrune(t *testing.T) {
+	var db DB
+	e := Entry{Tuple: tup("0110"), Problem: "cpu-hog", IP: "n1", Workload: "wordcount"}
+	db.Merge(e)
+	// A clone dedupes against the entries it copied.
+	c := db.Clone()
+	if c.Merge(e) {
+		t.Error("clone should dedupe entries it copied")
+	}
+	// Prune rebuilds the dedup index over the survivors.
+	near := e
+	near.Tuple = tup("0111")
+	db.Add(near)
+	if _, err := db.Prune(Jaccard, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if db.Merge(e) {
+		t.Error("post-Prune Merge should still dedupe kept entries")
+	}
+}
+
+func TestFingerprintSeparatesProblemAndTuple(t *testing.T) {
+	a := Entry{Tuple: tup("1"), Problem: "ab"}
+	b := Entry{Tuple: tup("11"), Problem: "a"}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("problem/tuple boundary must be fingerprint-separated")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Error("fingerprint must be deterministic")
+	}
+}

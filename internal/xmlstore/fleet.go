@@ -1,0 +1,85 @@
+package xmlstore
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"invarnetx/internal/signature"
+)
+
+// FleetClock is one origin's high-water mark in a persisted version vector:
+// the highest per-origin sequence number this daemon has applied.
+type FleetClock struct {
+	Origin string `xml:"origin,attr"`
+	Seq    uint64 `xml:"seq,attr"`
+}
+
+// FleetRecord is one replicated signature in the fleet log: the paper's
+// four-tuple stamped with the identity of the daemon that first accepted it
+// (origin) and its position in that origin's append sequence (seq). The
+// (origin, seq) pair is what anti-entropy rounds diff on; the payload is what
+// they ship.
+type FleetRecord struct {
+	Origin   string `xml:"origin,attr"`
+	Seq      uint64 `xml:"seq,attr"`
+	Workload string `xml:"type"`
+	Node     string `xml:"ip"`
+	Problem  string `xml:"problem"`
+	Tuple    string `xml:"tuple"`
+}
+
+// FleetFile is the persisted peer-replication state of one invarnetd: its
+// own origin identity and next sequence number, the version vector of
+// everything applied so far, and the replicated signature log itself. A
+// restart that reloads this file resumes anti-entropy incrementally — the
+// first sync round after boot ships only what each peer is genuinely
+// missing, not the whole database again.
+type FleetFile struct {
+	XMLName xml.Name      `xml:"fleet-state"`
+	Version int           `xml:"version,attr"`
+	Self    string        `xml:"self"`
+	NextSeq uint64        `xml:"next-seq"`
+	Vector  []FleetClock  `xml:"vector>clock"`
+	Records []FleetRecord `xml:"log>record"`
+}
+
+// Validate checks the file for structural damage before any of it is
+// applied: version compatibility, in-range sequence numbers, parseable
+// tuples, and a vector consistent with the log it claims to cover.
+func (f FleetFile) Validate() error {
+	if err := checkVersion(f.Version); err != nil {
+		return err
+	}
+	clocks := make(map[string]uint64, len(f.Vector))
+	for i, c := range f.Vector {
+		if c.Origin == "" {
+			return fmt.Errorf("xmlstore: fleet clock %d has no origin", i)
+		}
+		if _, dup := clocks[c.Origin]; dup {
+			return fmt.Errorf("xmlstore: fleet vector repeats origin %q", c.Origin)
+		}
+		clocks[c.Origin] = c.Seq
+	}
+	for i, r := range f.Records {
+		if r.Origin == "" {
+			return fmt.Errorf("xmlstore: fleet record %d has no origin", i)
+		}
+		if r.Seq == 0 {
+			return fmt.Errorf("xmlstore: fleet record %d (origin %q) has sequence 0 (sequences start at 1)", i, r.Origin)
+		}
+		if high, ok := clocks[r.Origin]; !ok || r.Seq > high {
+			return fmt.Errorf("xmlstore: fleet record %d (origin %q seq %d) exceeds its vector clock", i, r.Origin, r.Seq)
+		}
+		if _, err := signature.ParseTuple(r.Tuple); err != nil {
+			return fmt.Errorf("xmlstore: fleet record %d: %w", i, err)
+		}
+	}
+	if f.Self != "" && f.NextSeq > 0 {
+		// The self clock must cover every locally originated record, or a
+		// reloaded daemon would re-issue sequence numbers it already shipped.
+		if high := clocks[f.Self]; high >= f.NextSeq {
+			return fmt.Errorf("xmlstore: fleet next-seq %d behind self clock %d", f.NextSeq, high)
+		}
+	}
+	return nil
+}
