@@ -47,6 +47,12 @@ BENCH_COUNT ?= 3
 # counts within 10%.
 BENCH_TIME_THRESHOLD ?= 0.2
 BENCH_ALLOC_THRESHOLD ?= 0.1
+# Benchmarks the compare gate must cover in both baseline and fresh run:
+# the gate only inspects names present in the baseline, so without this a
+# dropped or renamed benchmark would silently lose its regression gate.
+# The fleet-scale signature retrievals are pinned because they are the
+# figures the sub-linear index exists for.
+BENCH_REQUIRE = BenchmarkSignatureMatch/n=10000,BenchmarkSignatureMatch/n=100000
 
 .PHONY: build test vet race check bench bench-compare smoke fleet-smoke fuzz
 
@@ -90,4 +96,5 @@ bench-compare: build
 	  $(GO) test -run '^$$' -bench '$(SERVER_BENCH_PATTERN)' \
 		-benchmem -benchtime $(SERVER_BENCH_ITERS) -count $(BENCH_COUNT) . ) | $(GO) run ./cmd/benchjson > benchmarks/current.json
 	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_TIME_THRESHOLD) \
-		-alloc-threshold $(BENCH_ALLOC_THRESHOLD) benchmarks/baseline.json benchmarks/current.json
+		-alloc-threshold $(BENCH_ALLOC_THRESHOLD) -require '$(BENCH_REQUIRE)' \
+		benchmarks/baseline.json benchmarks/current.json

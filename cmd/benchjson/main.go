@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"invarnetx/internal/benchparse"
 )
@@ -31,6 +32,7 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two JSON baselines instead of converting stdin")
 	threshold := flag.Float64("threshold", 0.2, "fractional ns/op regression allowed before failing (with -compare)")
 	allocThreshold := flag.Float64("alloc-threshold", 0.1, "fractional allocs/op regression allowed before failing (with -compare); allocation counts are near-deterministic, so this gate sits tighter than the time gate")
+	require := flag.String("require", "", "comma-separated benchmark names that must be present in both files (with -compare); guards the gate's coverage against silently dropped or renamed benchmarks")
 	flag.Parse()
 
 	if *compare {
@@ -38,7 +40,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs two args: baseline.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold, *allocThreshold))
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold, *allocThreshold, *require))
 	}
 
 	results, err := benchparse.Parse(bufio.NewReader(os.Stdin))
@@ -61,7 +63,7 @@ func main() {
 	}
 }
 
-func runCompare(basePath, newPath string, threshold, allocThreshold float64) int {
+func runCompare(basePath, newPath string, threshold, allocThreshold float64, require string) int {
 	base, err := readResults(basePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -71,6 +73,21 @@ func runCompare(basePath, newPath string, threshold, allocThreshold float64) int
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 1
+	}
+	if require != "" {
+		names := strings.Split(require, ",")
+		bad := false
+		for _, miss := range benchparse.MissingRequired(base, names) {
+			fmt.Fprintf(os.Stderr, "benchjson: required benchmark %s missing from %s (regenerate with `make bench`)\n", miss, basePath)
+			bad = true
+		}
+		for _, miss := range benchparse.MissingRequired(cur, names) {
+			fmt.Fprintf(os.Stderr, "benchjson: required benchmark %s missing from %s\n", miss, newPath)
+			bad = true
+		}
+		if bad {
+			return 1
+		}
 	}
 	fmt.Print(benchparse.DeltaTable(base, cur))
 	regs := benchparse.Compare(base, cur, threshold, allocThreshold)

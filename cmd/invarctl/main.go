@@ -75,6 +75,7 @@ commands:
   simulate    run one normal job and report per-node statistics
   train       train performance models and invariants; save XML to -models
   signatures  build the signature database for every fault; save to -models
+              (-stats: report DB sizes, index buckets and scan-vs-index hit rates)
   diagnose    inject a fault, detect it online and infer the root cause
   audit       report signature conflicts and per-problem separability
   profiles    list per-context profiles with model/invariant/signature stats
@@ -193,7 +194,14 @@ func cmdTrain(args []string) error {
 func cmdSignatures(args []string) error {
 	fs := flag.NewFlagSet("signatures", flag.ExitOnError)
 	w, seed, models := common(fs)
+	showStats := fs.Bool("stats", false,
+		"report per-profile signature DB size, retrieval-index buckets and scan-vs-index hit rates instead of building")
+	addr := fs.String("addr", "",
+		"with -stats: query a running daemon's /v1/stats for live retrieval counters instead of the model store")
 	fs.Parse(args)
+	if *showStats {
+		return signatureStats(*models, *addr)
+	}
 	t, err := parseWorkload(*w)
 	if err != nil {
 		return err
@@ -225,6 +233,63 @@ func cmdSignatures(args []string) error {
 		return err
 	}
 	fmt.Printf("%d signatures saved to %s\n", sys.SignatureCount(), *models)
+	return nil
+}
+
+// signatureStats reports the signature retrieval state: per-profile database
+// size and index structure from the model store, or — when addr is set — the
+// live daemon's fleet-wide sigIndex* counters (the store's query counters are
+// always zero; queries only happen in a running process).
+func signatureStats(models, addr string) error {
+	if addr != "" {
+		c := client.New(addr, nil)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("signature retrieval at %s:\n", addr)
+		fmt.Printf("  indexed %d entries in %d scopes / %d buckets (%d all-zero)\n",
+			st.SigIndexEntries, st.SigIndexScopes, st.SigIndexBuckets, st.SigIndexZeroEntries)
+		fmt.Printf("  queries: %d via index, %d via scan (index hit rate %.0f%%)\n",
+			st.SigIndexQueries, st.SigIndexScanQueries, 100*st.SigIndexHitRate)
+		fmt.Printf("  index-path candidates scored: %d; scan entries considered: %d (%d early exits)\n",
+			st.SigIndexCandidates, st.SigScanEntries, st.SigScanEarlyExits)
+		return nil
+	}
+	r := runner(1)
+	sys := core.New(r.Options().Config)
+	if err := loadModels(sys, models); err != nil {
+		return fmt.Errorf("loading models: %w", err)
+	}
+	pstats := sys.ProfileStats()
+	sort.Slice(pstats, func(a, b int) bool {
+		if pstats[a].Context.Workload != pstats[b].Context.Workload {
+			return pstats[a].Context.Workload < pstats[b].Context.Workload
+		}
+		return pstats[a].Context.IP < pstats[b].Context.IP
+	})
+	shown := 0
+	for _, st := range pstats {
+		if st.Signatures == 0 {
+			continue
+		}
+		shown++
+		ix := st.SigIndex
+		line := fmt.Sprintf("  %-28s %4d signatures  %2d scopes / %2d buckets (%d all-zero)",
+			st.Context, st.Signatures, ix.Scopes, ix.Buckets, ix.ZeroEntries)
+		if total := ix.IndexQueries + ix.ScanQueries; total > 0 {
+			line += fmt.Sprintf("  queries %d index / %d scan (%.0f%% index)",
+				ix.IndexQueries, ix.ScanQueries, 100*ix.HitRate())
+		}
+		fmt.Println(line)
+	}
+	if shown == 0 {
+		fmt.Println("no signatures in store (run `invarctl signatures` to build them)")
+		return nil
+	}
+	fmt.Printf("%d profiles with signatures; use -addr to read a live daemon's query counters\n", shown)
 	return nil
 }
 

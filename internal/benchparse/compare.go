@@ -47,6 +47,25 @@ func Compare(base, cur []Result, timeThreshold, allocThreshold float64) []Regres
 	return regs
 }
 
+// MissingRequired reports which of the required benchmark names are absent
+// from results. The compare gate only inspects benchmarks present in the
+// baseline, so renaming or dropping a tracked benchmark would silently
+// un-gate it once the baseline is regenerated; requiring names pins the
+// coverage itself.
+func MissingRequired(results []Result, names []string) []string {
+	have := make(map[string]bool, len(results))
+	for _, r := range results {
+		have[r.Name] = true
+	}
+	var missing []string
+	for _, n := range names {
+		if !have[n] {
+			missing = append(missing, n)
+		}
+	}
+	return missing
+}
+
 // compareFigure flags one (benchmark, unit) figure if it regressed. A figure
 // that was 0 in the baseline regresses whenever it becomes non-zero — there
 // is no meaningful ratio to apply a threshold to.

@@ -42,6 +42,8 @@ func TestConfigValidate(t *testing.T) {
 		{"negative consecutive", mut(func(c *Config) { c.Detect.Consecutive = -1 }), "Consecutive"},
 		{"absurd consecutive", mut(func(c *Config) { c.Detect.Consecutive = maxConsecutive + 1 }), "Consecutive"},
 		{"negative topk", mut(func(c *Config) { c.TopK = -1 }), "TopK"},
+		{"NaN sig min score", mut(func(c *Config) { c.SigMinScore = math.NaN() }), "SigMinScore"},
+		{"sig min score above one", mut(func(c *Config) { c.SigMinScore = 1.5 }), "SigMinScore"},
 		{"pool over clamp", mut(func(c *Config) { c.PoolCap = maxPoolCap + 1 }), "PoolCap"},
 		{"cache over clamp", mut(func(c *Config) { c.AssocCacheSize = maxAssocCacheSize + 1 }), "AssocCacheSize"},
 		{"unknown rule", mut(func(c *Config) { c.Detect.Rule = 97 }), "rule"},
@@ -80,5 +82,22 @@ func TestNewDefaultsZeroConfig(t *testing.T) {
 	if got.Epsilon != want.Epsilon || got.Tau != want.Tau ||
 		got.Detect.Beta != want.Detect.Beta || got.Detect.Consecutive != want.Detect.Consecutive {
 		t.Errorf("zero config defaulted to %+v, want paper defaults %+v", got, want)
+	}
+}
+
+// TestSigMinScorePropagatesToProfiles: the SigMinScore knob must land on
+// each profile's signature database, where > 0 activates the indexed
+// retrieval path — a knob that validates but never reaches the DB would
+// silently leave every diagnosis on the scan fallback.
+func TestSigMinScorePropagatesToProfiles(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SigMinScore = 0.4
+	sys := New(cfg)
+	p := sys.Profile(Context{Workload: "wc", IP: "10.0.0.1"})
+	if got := p.sigs.MinScore; got != 0.4 {
+		t.Fatalf("profile signature MinScore = %v, want 0.4", got)
+	}
+	if got := New(DefaultConfig()).Profile(Context{Workload: "wc", IP: "n"}).sigs.MinScore; got != 0 {
+		t.Fatalf("default profile signature MinScore = %v, want 0 (paper behaviour: rank all)", got)
 	}
 }

@@ -64,6 +64,7 @@ func newProfile(s *System, key Context) *Profile {
 		windowPool: newTrainingPool[*metrics.Trace](s.cfg.PoolCap),
 		monitors:   detect.NewRegistry(),
 	}
+	p.sigs.MinScore = s.cfg.SigMinScore
 	if s.cfg.Lifecycle.Enabled {
 		p.lc = newLifecycle(s.cfg.Lifecycle)
 	}
@@ -462,6 +463,9 @@ type ProfileStats struct {
 	Cache CacheStats
 	// Sparse reports the sparse diagnosis path's edge counters.
 	Sparse SparseStats
+	// SigIndex reports the signature retrieval index: structure (scopes,
+	// buckets, zero-tuple groups) and index-vs-scan query counters.
+	SigIndex signature.IndexStats
 	// Lifecycle reports the drift-lifecycle counters (zero when the
 	// lifecycle is disabled).
 	Lifecycle LifecycleStats
@@ -484,6 +488,15 @@ func (p *Profile) Stats() ProfileStats {
 	st.Monitors = p.monitors.Len()
 	st.Cache = p.CacheStats()
 	st.Sparse = p.SparseStats()
+	st.SigIndex = p.SignatureIndexStats()
 	st.Lifecycle = p.LifecycleStats()
 	return st
+}
+
+// SignatureIndexStats snapshots the profile's signature retrieval index:
+// partition structure plus the cumulative index-vs-scan query counters.
+func (p *Profile) SignatureIndexStats() signature.IndexStats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.sigs.IndexStats()
 }

@@ -80,6 +80,14 @@ type Config struct {
 	PoolCap int
 	// Similarity is the tuple-similarity measure for signature retrieval.
 	Similarity signature.Measure
+	// SigMinScore is the minimum similarity for a signature match to be
+	// reported. The paper ranks every known signature, so the default is 0
+	// (report all, ranked); setting it > 0 both drops weak causes from
+	// reports and lets unmasked Jaccard/Cosine retrieval run through the
+	// scope-partitioned inverted index instead of scanning the scope —
+	// at MinScore 0 every same-scope signature matches by definition, so
+	// there is nothing for an index to prune.
+	SigMinScore float64
 	// TopK bounds the returned cause list (0 = all).
 	TopK int
 	// UseContext scopes models and signatures by (workload, node). When
@@ -177,6 +185,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Detect.Consecutive %d outside [0,%d]", c.Detect.Consecutive, maxConsecutive)
 	case c.TopK < 0:
 		return fmt.Errorf("core: TopK %d is negative (0 means unranked-all)", c.TopK)
+	case bad(c.SigMinScore) || c.SigMinScore > 1:
+		return fmt.Errorf("core: SigMinScore %v outside [0,1] (similarity floor over signature matches)", c.SigMinScore)
 	case c.AssocCacheSize > maxAssocCacheSize:
 		return fmt.Errorf("core: AssocCacheSize %d exceeds the %d per-profile clamp", c.AssocCacheSize, maxAssocCacheSize)
 	case c.PoolCap > maxPoolCap:
@@ -551,6 +561,17 @@ func (s *System) SignatureScanStats() (entries, earlyExits int64) {
 		earlyExits += x
 	}
 	return entries, earlyExits
+}
+
+// SignatureIndexStats aggregates the signature retrieval-index counters
+// across every profile: index structure totals plus the index-vs-scan query
+// split (see signature.IndexStats).
+func (s *System) SignatureIndexStats() signature.IndexStats {
+	var st signature.IndexStats
+	for _, p := range s.Profiles() {
+		st.Add(p.SignatureIndexStats())
+	}
+	return st
 }
 
 // ProfileStats snapshots every registered profile for reporting, in

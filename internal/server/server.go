@@ -690,6 +690,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if sigScanned > 0 {
 		sigEarlyRate = float64(sigEarly) / float64(sigScanned)
 	}
+	sigIdx := s.sys.SignatureIndexStats()
 	lc := s.sys.LifecycleStats()
 	cross := s.sys.CrossStats()
 	var fleetStats *fleet.Stats
@@ -732,6 +733,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		SigScanEntries:       sigScanned,
 		SigScanEarlyExits:    sigEarly,
 		SigScanEarlyExitRate: sigEarlyRate,
+
+		SigIndexScopes:      sigIdx.Scopes,
+		SigIndexBuckets:     sigIdx.Buckets,
+		SigIndexEntries:     sigIdx.Indexed,
+		SigIndexZeroEntries: sigIdx.ZeroEntries,
+		SigIndexQueries:     sigIdx.IndexQueries,
+		SigIndexScanQueries: sigIdx.ScanQueries,
+		SigIndexCandidates:  sigIdx.Candidates,
+		SigIndexHitRate:     sigIdx.HitRate(),
 
 		LifecycleEnabled:  lc.Enabled,
 		ModelGeneration:   lc.Generation,

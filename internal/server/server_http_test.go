@@ -304,4 +304,10 @@ func TestRestartRestoresSignatures(t *testing.T) {
 			t.Errorf("signature %s for %s@%s lost across restart", l.problem, l.workload, l.node)
 		}
 	}
+
+	// The XML restore rebuilt the retrieval index: every restored signature
+	// is indexed, not just stored.
+	if ix := srv2.System().SignatureIndexStats(); ix.Indexed != wantSigs {
+		t.Errorf("restart indexed %d signatures, want %d", ix.Indexed, wantSigs)
+	}
 }

@@ -8,11 +8,13 @@ import (
 	"invarnetx/internal/stats"
 )
 
-// sortMatches applies MatchMasked's result ordering. Both the packed scan
-// and the test reference sort the same pre-sort sequence with the same
-// comparator, so the (deterministic) sort yields identical orderings.
+// sortMatches applies MatchMasked's result ordering: score descending,
+// problem ascending, then insertion order. The stable sort over an
+// insertion-ordered sequence realises the same total order MatchMasked's
+// selector imposes, so reference and production orderings are identical
+// even for fully tied entries.
 func sortMatches(ms []Match) {
-	sort.Slice(ms, func(a, b int) bool {
+	sort.SliceStable(ms, func(a, b int) bool {
 		if ms[a].Score != ms[b].Score {
 			return ms[a].Score > ms[b].Score
 		}

@@ -1,7 +1,12 @@
 package signature
 
 import (
+	"errors"
+	"fmt"
+	"reflect"
 	"testing"
+
+	"invarnetx/internal/stats"
 )
 
 // FuzzParseTuple exercises the tuple parser with arbitrary byte strings:
@@ -22,6 +27,112 @@ func FuzzParseTuple(f *testing.F) {
 		}
 		if tu.Ones() < 0 || tu.Ones() > len(tu) {
 			t.Fatalf("Ones out of range for %q", s)
+		}
+	})
+}
+
+// buildRandomDB populates a DB with nEntries random signatures across a
+// small pool of scopes, tuple lengths (including stale lengths) and
+// densities (including all-zero tuples).
+func buildRandomDB(rng *stats.RNG, nEntries, tupleLen int, minScore float64) *DB {
+	db := &DB{MinScore: minScore}
+	ips := []string{"", "10.0.0.1", "10.0.0.2", "10.0.0.3"}
+	workloads := []string{"wc", "tpcds", "sort"}
+	for i := 0; i < nEntries; i++ {
+		ln := tupleLen
+		switch rng.Intn(10) {
+		case 0:
+			if ln = tupleLen - 2; ln < 0 {
+				ln = 0
+			} // stale entry from an older invariant set
+		case 1:
+			ln = tupleLen + 5
+		}
+		density := []float64{0, 0.05, 0.2, 0.6}[rng.Intn(4)]
+		db.Add(Entry{
+			Tuple:    randomTuple(rng, ln, density),
+			Problem:  string(rune('a' + rng.Intn(6))),
+			IP:       ips[rng.Intn(len(ips))],
+			Workload: workloads[rng.Intn(len(workloads))],
+		})
+	}
+	return db
+}
+
+// matchBothPaths runs the same query through the production path (index with
+// scan fallbacks) and the DisableIndex linear reference, and fails the test
+// unless both return byte-identical results and errors.
+func matchBothPaths(t *testing.T, db *DB, tuple Tuple, known []bool, ip, wl string, m Measure, topK int, tag string) {
+	t.Helper()
+	ref := db.Clone()
+	ref.DisableIndex = true
+	got, gotErr := db.MatchMasked(tuple, known, ip, wl, m, topK)
+	want, wantErr := ref.MatchMasked(tuple, known, ip, wl, m, topK)
+	if (gotErr == nil) != (wantErr == nil) || (gotErr != nil && gotErr.Error() != wantErr.Error()) {
+		t.Fatalf("%s: index path err %v, linear scan err %v", tag, gotErr, wantErr)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: index path %+v != linear scan %+v", tag, got, want)
+	}
+}
+
+// TestMatchIndexEquivalence pins the tentpole contract: for random databases,
+// every retrieval path — inverted index, bucket scan fallback, linear
+// reference — returns byte-identical []Match output across all three
+// measures, nil and random masks, and MinScore/topK sweeps.
+func TestMatchIndexEquivalence(t *testing.T) {
+	rng := stats.NewRNG(2300)
+	const tupleLen = 90
+	for _, minScore := range []float64{0, 0.05, 0.3, 0.7, 1} {
+		for _, nEntries := range []int{0, 1, 30, 200} {
+			db := buildRandomDB(rng.Fork(int64(nEntries)+int64(minScore*1000)), nEntries, tupleLen, minScore)
+			for rep := 0; rep < 24; rep++ {
+				density := []float64{0, 0.08, 0.3, 0.9}[rep%4]
+				tuple := randomTuple(rng, tupleLen, density)
+				var known []bool
+				if rep%3 == 2 {
+					known = []bool(randomTuple(rng, tupleLen, 0.8))
+				}
+				ip := []string{"", "10.0.0.1", "10.0.0.9"}[rep%3]
+				wl := []string{"", "wc"}[rep%2]
+				m := []Measure{Jaccard, Hamming, Cosine}[rep%3]
+				topK := []int{0, 1, 5, 1000}[rep%4]
+				tag := fmt.Sprintf("minScore=%v nEntries=%d rep=%d", minScore, nEntries, rep)
+				matchBothPaths(t, db, tuple, known, ip, wl, m, topK, tag)
+			}
+		}
+	}
+}
+
+// FuzzMatchEquivalence drives the index-vs-linear-scan equivalence from
+// arbitrary fuzz inputs: whatever database and query the fuzzer concocts,
+// the index path must match the reference scan byte for byte.
+func FuzzMatchEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint8(30), uint8(3), uint8(5), false)
+	f.Add(int64(7), uint8(0), uint8(1), uint8(0), uint8(0), true)
+	f.Add(int64(42), uint8(100), uint8(64), uint8(10), uint8(1), false)
+	f.Fuzz(func(t *testing.T, seed int64, nEntries, tupleLen, minScoreTenths, topK uint8, masked bool) {
+		rng := stats.NewRNG(seed)
+		n := int(tupleLen) % 129
+		minScore := float64(minScoreTenths%11) / 10
+		db := buildRandomDB(rng, int(nEntries), n, minScore)
+		tuple := randomTuple(rng, n, []float64{0, 0.1, 0.5}[rng.Intn(3)])
+		var known []bool
+		if masked {
+			known = []bool(randomTuple(rng, n, 0.7))
+		}
+		ip := []string{"", "10.0.0.1", "10.0.0.2"}[rng.Intn(3)]
+		wl := []string{"", "wc", "tpcds"}[rng.Intn(3)]
+		m := Measure(rng.Intn(3))
+		ref := db.Clone()
+		ref.DisableIndex = true
+		got, gotErr := db.MatchMasked(tuple, known, ip, wl, m, int(topK))
+		want, wantErr := ref.MatchMasked(tuple, known, ip, wl, m, int(topK))
+		if !errors.Is(gotErr, wantErr) && (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("index path err %v, linear scan err %v", gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("index path %+v != linear scan %+v", got, want)
 		}
 	})
 }

@@ -225,18 +225,31 @@ type Match struct {
 type DB struct {
 	entries []Entry
 	packs   []packed // bitset form of each entry's tuple, parallel to entries
-	// index dedupes entries by (context, fingerprint) for Merge; maintained
+	// dedup indexes entries by (context, fingerprint) for Merge; maintained
 	// by Add and rebuilt by Prune.
-	index map[mergeKey]struct{}
+	dedup map[mergeKey]struct{}
+	// idx is the scope-partitioned inverted index over the entries (see
+	// index.go), maintained incrementally by Add and rebuilt by Prune. It
+	// keeps retrieval sub-linear in the fleet-wide corpus.
+	idx invIndex
 	// MinScore is the minimum similarity for a match to be reported
 	// (default 0: report everything, ranked).
 	MinScore float64
+	// DisableIndex forces every query down the linear reference scan. It
+	// exists for the index-vs-scan equivalence tests and the linear-scan
+	// baseline benchmark; production paths leave it false.
+	DisableIndex bool
 
 	// Scan telemetry: entries considered by best-match scans, and how many
 	// resolved without the per-word similarity loop (precomputed-popcount
 	// fast paths, stale-length skips, MinScore bound pruning).
 	scanEntries    atomic.Int64
 	scanEarlyExits atomic.Int64
+	// Index telemetry: queries answered via the inverted index, queries
+	// that fell back to a scan, and entries scored by index-path queries.
+	idxQueries     atomic.Int64
+	idxScanQueries atomic.Int64
+	idxCandidates  atomic.Int64
 }
 
 // ScanStats returns the cumulative best-match scan counters: entries
@@ -257,11 +270,13 @@ func (db *DB) Add(e Entry) {
 		IP:       e.IP,
 		Workload: e.Workload,
 	})
-	db.packs = append(db.packs, pack(e.Tuple))
-	if db.index == nil {
-		db.index = make(map[mergeKey]struct{})
+	p := pack(e.Tuple)
+	db.packs = append(db.packs, p)
+	if db.dedup == nil {
+		db.dedup = make(map[mergeKey]struct{})
 	}
-	db.index[e.key()] = struct{}{}
+	db.dedup[e.key()] = struct{}{}
+	db.idx.add(int32(len(db.entries)-1), e, p)
 }
 
 // Merge stores a signature unless an identical one — same operation context,
@@ -271,7 +286,7 @@ func (db *DB) Add(e Entry) {
 // skew best-match scans) and fleet anti-entropy (the same entry arriving via
 // two gossip paths merges to one copy).
 func (db *DB) Merge(e Entry) bool {
-	if _, dup := db.index[e.key()]; dup {
+	if _, dup := db.dedup[e.key()]; dup {
 		return false
 	}
 	db.Add(e)
@@ -286,7 +301,7 @@ func (db *DB) Len() int { return len(db.entries) }
 // read, match and audit without further synchronisation against writers of
 // the original.
 func (db *DB) Clone() *DB {
-	out := &DB{MinScore: db.MinScore}
+	out := &DB{MinScore: db.MinScore, DisableIndex: db.DisableIndex}
 	out.entries = make([]Entry, 0, len(db.entries))
 	for _, e := range db.entries {
 		out.Add(e)
@@ -294,9 +309,16 @@ func (db *DB) Clone() *DB {
 	return out
 }
 
-// Entries returns a copy of all stored signatures.
+// Entries returns a deep copy of all stored signatures: the entry slice and
+// every tuple. Callers are free to mutate the result without corrupting the
+// stored signatures (or the index built over them) behind the DB's back.
 func (db *DB) Entries() []Entry {
-	return append([]Entry(nil), db.entries...)
+	out := make([]Entry, len(db.entries))
+	for i, e := range db.entries {
+		out[i] = e
+		out[i].Tuple = append(Tuple(nil), e.Tuple...)
+	}
+	return out
 }
 
 // Match retrieves the topK stored signatures most similar to tuple within
@@ -311,20 +333,97 @@ func (db *DB) Match(tuple Tuple, ip, workloadType string, measure Measure, topK 
 // computed only over the coordinates whose invariants were checkable
 // (known[i] true). A nil mask compares every coordinate.
 //
-// The scan runs over the packed tuples: the query is packed once, each
-// entry costs a handful of popcount words, and entries whose score is
-// already determined by the precomputed population counts — an all-zero
-// unmasked query (the healthy-window common case), or an upper bound
-// provably below MinScore — skip even that. Scores are bit-identical to
-// MaskedSimilarity's.
+// Retrieval is sub-linear in the common case: an unmasked Jaccard or Cosine
+// query with MinScore > 0 resolves through the scope-partitioned inverted
+// index (see index.go), touching only entries that share violated bits with
+// the query. Masked windows, Hamming, and MinScore == 0 queries fall back
+// to a bucket scan restricted to the matching scope partitions (or the full
+// linear scan when DisableIndex is set). Every path scores candidates
+// through the same bitCounts → similarityFromCounts funnel, so results are
+// bit-identical across paths, and selection runs under one total order
+// (score descending, problem ascending, insertion order) via a bounded
+// top-k heap.
 func (db *DB) MatchMasked(tuple Tuple, known []bool, ip, workloadType string, measure Measure, topK int) ([]Match, error) {
+	n := len(tuple)
+	if known != nil && len(known) != n {
+		// Validated once per query, not per entry — and reported even when
+		// the scope matches zero entries.
+		return nil, fmt.Errorf("signature: mask length %d for tuples of length %d", len(known), n)
+	}
 	q := pack(tuple)
 	var knownWords []uint64
 	if known != nil {
 		knownWords = packWords(known)
 	}
-	n := len(tuple)
-	var out []Match
+	sel := selector{k: topK}
+	var scoped int
+	var err error
+	switch {
+	case db.DisableIndex:
+		db.idxScanQueries.Add(1)
+		scoped, err = db.matchLinear(q, knownWords, n, ip, workloadType, measure, &sel)
+	case knownWords == nil && db.MinScore > 0 && (measure == Jaccard || measure == Cosine):
+		db.idxQueries.Add(1)
+		scoped, err = db.matchIndexed(q, n, ip, workloadType, measure, &sel)
+	default:
+		db.idxScanQueries.Add(1)
+		scoped, err = db.matchScoped(q, knownWords, n, ip, workloadType, measure, &sel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if scoped == 0 {
+		return nil, ErrEmpty
+	}
+	return sel.results(), nil
+}
+
+// scoreEntry computes entry idx's similarity to the packed query exactly as
+// the historical linear scan did — precomputed-count fast paths included —
+// and offers it to the selector. Shared by every retrieval path so scores
+// and selection stay bit-identical.
+func (db *DB) scoreEntry(idx int32, q packed, knownWords []uint64, n int, measure Measure, sel *selector, early *int64) error {
+	ep := db.packs[idx]
+	var s float64
+	resolved := false
+	if knownWords == nil {
+		if q.ones == 0 {
+			if v, ok := zeroQueryScore(ep.ones, n, measure); ok {
+				s, resolved = v, true
+				if early != nil {
+					*early++
+				}
+			}
+		}
+		if !resolved && db.MinScore > 0 {
+			if ub, ok := scoreUpperBound(q.ones, ep.ones, n, measure); ok && ub < db.MinScore {
+				if early != nil {
+					*early++
+				}
+				return nil // provably below threshold; the exact score cannot be reported
+			}
+		}
+	}
+	if !resolved {
+		both, either, equal, onesA, onesB, compared := bitCounts(q, ep, knownWords, n)
+		v, err := similarityFromCounts(both, either, equal, onesA, onesB, compared, knownWords != nil, measure)
+		if err != nil {
+			return err
+		}
+		s = v
+	}
+	if s < db.MinScore {
+		return nil
+	}
+	sel.add(Match{Entry: db.entries[idx], Score: s}, idx)
+	return nil
+}
+
+// matchLinear is the reference retrieval: a full scan over every stored
+// entry with per-entry scope filtering. Kept as the DisableIndex path — the
+// baseline the equivalence tests and the linear-scan benchmark pin the
+// index against.
+func (db *DB) matchLinear(q packed, knownWords []uint64, n int, ip, workloadType string, measure Measure, sel *selector) (int, error) {
 	scoped := 0
 	var scanned, early int64
 	defer func() {
@@ -346,52 +445,107 @@ func (db *DB) MatchMasked(tuple Tuple, known []bool, ip, workloadType string, me
 			early++
 			continue
 		}
-		if known != nil && len(known) != n {
-			return nil, fmt.Errorf("signature: mask length %d for tuples of length %d", len(known), n)
+		if err := db.scoreEntry(int32(idx), q, knownWords, n, measure, sel, &early); err != nil {
+			return 0, err
 		}
-		ep := db.packs[idx]
-		var s float64
-		resolved := false
-		if knownWords == nil {
-			if q.ones == 0 {
-				if v, ok := zeroQueryScore(ep.ones, n, measure); ok {
-					s, resolved = v, true
-					early++
+	}
+	return scoped, nil
+}
+
+// matchScoped is the bucket scan: the scope partitions prune entries of
+// other operation contexts and the length buckets prune stale tuples, but
+// every entry of the query-length bucket is scored. The fallback for
+// masked windows, Hamming, and MinScore == 0 queries.
+func (db *DB) matchScoped(q packed, knownWords []uint64, n int, ip, workloadType string, measure Measure, sel *selector) (int, error) {
+	scoped := 0
+	var scanned, early int64
+	defer func() {
+		db.scanEntries.Add(scanned)
+		db.scanEarlyExits.Add(early)
+	}()
+	var err error
+	db.idx.forScopes(ip, workloadType, func(sp *scopePartition) {
+		if err != nil {
+			return
+		}
+		scoped += sp.total
+		for ln, b := range sp.byLen {
+			if ln != n {
+				// Stale-length entries count as considered-and-skipped,
+				// mirroring the linear scan's counters.
+				scanned += int64(len(b.ids))
+				early += int64(len(b.ids))
+				continue
+			}
+			scanned += int64(len(b.ids))
+			for _, idx := range b.ids {
+				if err = db.scoreEntry(idx, q, knownWords, n, measure, sel, &early); err != nil {
+					return
 				}
 			}
-			if !resolved && db.MinScore > 0 {
-				if ub, ok := scoreUpperBound(q.ones, ep.ones, n, measure); ok && ub < db.MinScore {
-					early++
-					continue // provably below threshold; the exact score cannot be reported
-				}
-			}
 		}
-		if !resolved {
-			both, either, equal, onesA, onesB, compared := bitCounts(q, ep, knownWords, n)
-			v, err := similarityFromCounts(both, either, equal, onesA, onesB, compared, knownWords != nil, measure)
-			if err != nil {
-				return nil, err
-			}
-			s = v
-		}
-		if s < db.MinScore {
-			continue
-		}
-		out = append(out, Match{Entry: e, Score: s})
-	}
-	if scoped == 0 {
-		return nil, ErrEmpty
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score > out[b].Score
-		}
-		return out[a].Problem < out[b].Problem
 	})
-	if topK > 0 && len(out) > topK {
-		out = out[:topK]
+	if err != nil {
+		return 0, err
 	}
-	return out, nil
+	return scoped, nil
+}
+
+// matchIndexed answers an unmasked Jaccard/Cosine query with MinScore > 0
+// through the inverted index: candidates are the entries sharing at least
+// minOverlap violated bits with the query (everything else scores exactly
+// 0 < MinScore), and an all-zero query resolves from the precomputed
+// zero-tuple group (every other entry scores 0). The bit-sliced counter
+// hands back each candidate's exact shared-bit count, so every tally
+// similarityFromCounts needs follows by integer arithmetic — the same
+// integers bitCounts would produce — and reported scores stay bit-identical
+// to the scans' without re-touching the candidate's tuple.
+func (db *DB) matchIndexed(q packed, n int, ip, workloadType string, measure Measure, sel *selector) (int, error) {
+	scoped := 0
+	var scoredN int64
+	defer func() { db.idxCandidates.Add(scoredN) }()
+	var err error
+	threshold := minOverlap(measure, db.MinScore, q.ones)
+	db.idx.forScopes(ip, workloadType, func(sp *scopePartition) {
+		if err != nil {
+			return
+		}
+		scoped += sp.total
+		b := sp.byLen[n]
+		if b == nil {
+			return
+		}
+		if q.ones == 0 {
+			for _, idx := range b.zeros {
+				scoredN++
+				if err = db.scoreEntry(idx, q, nil, n, measure, sel, nil); err != nil {
+					return
+				}
+			}
+			return
+		}
+		scoredN += b.candidates(q, threshold, func(idx int32, both int) {
+			if err != nil {
+				return
+			}
+			onesB := db.packs[idx].ones
+			either := q.ones + onesB - both
+			equal := n - either + both
+			s, serr := similarityFromCounts(both, either, equal, q.ones, onesB, n, false, measure)
+			if serr != nil {
+				err = serr
+				return
+			}
+			if s < db.MinScore {
+				return
+			}
+			sel.add(Match{Entry: db.entries[idx], Score: s}, idx)
+		})
+	})
+	if err != nil {
+		return 0, err
+	}
+	return scoped, nil
 }
 
 // BestProblem aggregates Match results into a ranked root-cause list: each
@@ -453,10 +607,13 @@ func (db *DB) Prune(measure Measure, threshold float64) (removed int, err error)
 	}
 	db.entries = kept
 	db.packs = db.packs[:0]
-	db.index = make(map[mergeKey]struct{}, len(kept))
-	for _, e := range kept {
-		db.packs = append(db.packs, pack(e.Tuple))
-		db.index[e.key()] = struct{}{}
+	db.dedup = make(map[mergeKey]struct{}, len(kept))
+	db.idx.reset()
+	for i, e := range kept {
+		p := pack(e.Tuple)
+		db.packs = append(db.packs, p)
+		db.dedup[e.key()] = struct{}{}
+		db.idx.add(int32(i), e, p)
 	}
 	return removed, nil
 }

@@ -151,6 +151,43 @@ func TestSignatureRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSignatureDecodeRebuildsIndex: Decode routes every entry through
+// DB.Add, so a restored database must answer index-path queries (unmasked
+// Jaccard with MinScore > 0) exactly like the database that was persisted —
+// a restore that skipped index maintenance would return nothing.
+func TestSignatureDecodeRebuildsIndex(t *testing.T) {
+	var db signature.DB
+	tu, _ := signature.ParseTuple("0110100011")
+	db.Add(signature.Entry{Tuple: tu, Problem: "cpu-hog", IP: "10.0.0.2", Workload: "wordcount"})
+	tu2, _ := signature.ParseTuple("1100000000")
+	db.Add(signature.Entry{Tuple: tu2, Problem: "mem-hog", IP: "10.0.0.2", Workload: "wordcount"})
+
+	var buf bytes.Buffer
+	if err := Save(&buf, EncodeSignatures(&db)); err != nil {
+		t.Fatal(err)
+	}
+	var back SignatureFile
+	if err := Load(&buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := back.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2.MinScore = 0.5
+	got, err := db2.Match(tu, "10.0.0.2", "wordcount", signature.Jaccard, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Problem != "cpu-hog" || got[0].Score != 1 {
+		t.Fatalf("restored index match = %+v, want exact cpu-hog at 1", got)
+	}
+	st := db2.IndexStats()
+	if st.Indexed != 2 || st.IndexQueries != 1 {
+		t.Errorf("restored IndexStats = %+v, want 2 indexed entries, 1 index query", st)
+	}
+}
+
 func TestSignatureDecodeValidation(t *testing.T) {
 	f := SignatureFile{Entries: []SignatureEntry{{Tuple: "01x", Problem: "p", IP: "i", Type: "t"}}}
 	if _, err := f.Decode(); err == nil {
